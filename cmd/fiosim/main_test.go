@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"4k", 4096, false},
+		{"256K", 256 << 10, false},
+		{"2m", 2 << 20, false},
+		{"1M", 1 << 20, false},
+		{"4g", 4 << 30, false},
+		{"1G", 1 << 30, false},
+		{"512", 512, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"-4k", 0, true},
+		{"0", 0, true},
+		{"k", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := parseSize(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("parseSize(%q) = %d, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512B"},
+		{1 << 20, "1.0MiB"},
+		{1536 << 10, "1.5MiB"},
+		{4 << 30, "4.0GiB"},
+	}
+	for _, tc := range cases {
+		if got := fmtBytes(tc.in); got != tc.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestUs(t *testing.T) {
+	if got := us(1500 * time.Nanosecond); got != 1.5 {
+		t.Errorf("us = %v, want 1.5", got)
+	}
+}

@@ -1,0 +1,198 @@
+// Command nvmectl is the nvme-cli-shaped control tool for the simulated
+// devices: it lists the catalog, dumps Identify Controller power-state
+// descriptor tables, and gets/sets the Power Management feature —
+// optionally demonstrating a power state's effect with a short
+// measured workload.
+//
+// Usage:
+//
+//	nvmectl list
+//	nvmectl id-ctrl SSD2
+//	nvmectl get-feature SSD2
+//	nvmectl set-feature SSD2 2
+//	nvmectl set-feature SSD2 2 -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/device"
+	"wattio/internal/measure"
+	"wattio/internal/nvme"
+	"wattio/internal/sim"
+	"wattio/internal/sweep"
+	"wattio/internal/workload"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		list()
+	case "id-ctrl":
+		need(args, 2)
+		idCtrl(ctrl(args[1]))
+	case "get-feature":
+		need(args, 2)
+		getFeature(ctrl(args[1]))
+	case "set-feature":
+		need(args, 3)
+		ps, err := strconv.Atoi(args[2])
+		if err != nil {
+			fatal("bad power state %q", args[2])
+		}
+		demo := len(args) > 3 && args[3] == "-demo"
+		setFeature(args[1], ps, demo)
+	case "apst":
+		need(args, 2)
+		apst(args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  nvmectl list                       list simulated devices
+  nvmectl id-ctrl <dev>              identify controller (power state table)
+  nvmectl get-feature <dev>          read Power Management (FID 0x02)
+  nvmectl set-feature <dev> <ps>     write Power Management (FID 0x02)
+  nvmectl set-feature <dev> <ps> -demo   ...and measure a short workload
+  nvmectl apst <dev> [on|off]        read or write Autonomous Power State Transition (FID 0x0C)`)
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+		os.Exit(2)
+	}
+}
+
+func newDev(name string) (device.Device, *sim.Engine, *sim.RNG) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(42)
+	dev, ok := catalog.ByName(name, eng, rng)
+	if !ok {
+		fatal("unknown device %q; try nvmectl list", name)
+	}
+	return dev, eng, rng
+}
+
+func ctrl(name string) *nvme.Controller {
+	dev, _, _ := newDev(name)
+	c, err := nvme.NewController(dev)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return c
+}
+
+func list() {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	fmt.Printf("%-6s %-9s %-22s %-12s %s\n", "Node", "Protocol", "Model", "Capacity", "PowerStates")
+	for _, name := range catalog.Names() {
+		dev, _ := catalog.ByName(name, eng, rng)
+		fmt.Printf("%-6s %-9s %-22s %-12s %d\n",
+			name, dev.Protocol(), dev.Model(),
+			fmt.Sprintf("%.0fGB", float64(dev.CapacityBytes())/1e9), len(dev.PowerStates()))
+	}
+}
+
+func idCtrl(c *nvme.Controller) {
+	id := c.Identify()
+	fmt.Printf("mn      : %s\n", id.ModelNumber)
+	fmt.Printf("npss    : %d\n", id.NPSS)
+	for i, psd := range id.PSD {
+		fmt.Printf("ps %4d : mp:%.2fW enlat:%dus exlat:%dus\n",
+			i, float64(psd.MaxPowerCentiW)/100, psd.EntryLatUs, psd.ExitLatUs)
+	}
+}
+
+func getFeature(c *nvme.Controller) {
+	ps, err := c.GetPowerState()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("get-feature:0x02 (Power Management), Current value:0x%08x (PS:%d)\n", ps, ps)
+}
+
+func setFeature(name string, ps int, demo bool) {
+	dev, eng, rng := newDev(name)
+	c, err := nvme.NewController(dev)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if !demo {
+		if err := c.SetPowerState(ps); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("set-feature:0x02 (Power Management), value:0x%08x (PS:%d)\n", ps, ps)
+		return
+	}
+	// Demo: measure the same workload in ps0 and the requested state.
+	run := func() (float64, float64) {
+		rig, err := measure.NewRig(eng, rng.Stream(fmt.Sprint("rig", eng.Now())), dev, measure.DefaultRigConfig(sweep.RailFor(dev)))
+		if err != nil {
+			fatal("%v", err)
+		}
+		rig.Start()
+		res := workload.Run(eng, dev, workload.Job{
+			Op: device.OpWrite, Pattern: workload.Seq, BS: 256 << 10, Depth: 64,
+			Runtime: 5 * time.Second, TotalBytes: 1 << 30,
+		}, rng.Stream(fmt.Sprint("wl", eng.Now())))
+		rig.Stop()
+		return res.BandwidthMBps, rig.Trace().Mean()
+	}
+	bw0, pw0 := run()
+	if err := c.SetPowerState(ps); err != nil {
+		fatal("%v", err)
+	}
+	bw1, pw1 := run()
+	fmt.Printf("set-feature:0x02 (Power Management), value:0x%08x (PS:%d)\n", ps, ps)
+	fmt.Printf("demo (seq write 256KiB qd64, 1 GiB):\n")
+	fmt.Printf("  ps0 : %7.1f MB/s at %5.2f W\n", bw0, pw0)
+	fmt.Printf("  ps%d : %7.1f MB/s at %5.2f W  (%.0f%% throughput, %.0f%% power)\n",
+		ps, bw1, pw1, 100*bw1/bw0, 100*pw1/pw0)
+}
+
+func apst(args []string) {
+	c := ctrl(args[0])
+	if len(args) == 1 {
+		on, err := c.GetAPST()
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("get-feature:0x0c (Autonomous Power State Transition), Current value: %v\n", on)
+		return
+	}
+	var enable bool
+	switch args[1] {
+	case "on":
+		enable = true
+	case "off":
+	default:
+		fatal("apst takes on or off, not %q", args[1])
+	}
+	if err := c.SetAPST(enable); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("set-feature:0x0c (Autonomous Power State Transition), value: %v\n", enable)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nvmectl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command powerbench regenerates the paper's tables and figures on the
+// simulated testbed. Each experiment prints the same rows or series the
+// paper reports, at either the published scale (-scale paper: one
+// minute or 4 GiB per point) or a fast scale for smoke runs.
+//
+// Usage:
+//
+//	powerbench -list
+//	powerbench -exp fig4
+//	powerbench -exp all -scale paper -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wattio/internal/experiments"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale  = flag.String("scale", "quick", "experiment scale: quick or paper")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		out    = flag.String("out", "", "also write results to this file")
+		csvDir = flag.String("csvdir", "", "export figure data as CSV files into this directory")
+		seed   = flag.Uint64("seed", 42, "root random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.Quick
+	case "paper":
+		s = experiments.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "powerbench: unknown scale %q (quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+	s.Seed = *seed
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powerbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	var todo []experiments.Experiment
+	if *expID == "all" {
+		todo = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q; try -list\n", *expID)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		if *csvDir != "" {
+			files, err := experiments.ExportCSV(e.ID, s, *csvDir)
+			if err != nil {
+				// Not every experiment has tabular data (table1,
+				// headline, standby print directly).
+				fmt.Fprintf(w, "[%s: %v]\n", e.ID, err)
+				continue
+			}
+			for _, f := range files {
+				fmt.Fprintf(w, "wrote %s\n", f)
+			}
+			fmt.Fprintf(w, "[%s exported in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		if err := e.Run(s, w); err != nil {
+			fmt.Fprintf(os.Stderr, "powerbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

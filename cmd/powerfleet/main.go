@@ -1,0 +1,226 @@
+// Command powerfleet is the planning front end a power-adaptive storage
+// system would run in production: build power-throughput models from
+// measurement sweeps (once, offline), save them as JSON, and answer
+// budget/SLO/curtailment queries against them at decision time.
+//
+// Usage:
+//
+//	powerfleet build -device SSD2 -o ssd2.json
+//	powerfleet info ssd2.json
+//	powerfleet plan -budget 20 ssd1.json ssd2.json
+//	powerfleet curtail -reduce 0.2 -chunk 256k -depth 64 ssd1.json
+//	powerfleet slo -budget 12 -p99 5ms ssd2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/core"
+	"wattio/internal/device"
+	"wattio/internal/sweep"
+	"wattio/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "plan":
+		plan(os.Args[2:])
+	case "curtail":
+		curtail(os.Args[2:])
+	case "slo":
+		slo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  powerfleet build -device <name> -o <file> [-rw randwrite] [-runtime 10s] [-bytes 2147483648] [-seed 42]
+  powerfleet info <model.json>...
+  powerfleet plan -budget <watts> <model.json>...
+  powerfleet curtail -reduce <frac> -chunk <bytes> -depth <n> <model.json>
+  powerfleet slo [-budget W] [-p99 dur] [-avg dur] [-minmbps N] <model.json>`)
+}
+
+func loadModels(paths []string) []*core.Model {
+	if len(paths) == 0 {
+		fatal("need at least one model file")
+	}
+	out := make([]*core.Model, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fatal("%v", err)
+		}
+		m, err := core.Load(f)
+		f.Close()
+		if err != nil {
+			fatal("%s: %v", p, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dev := fs.String("device", "SSD2", "device model: "+strings.Join(catalog.Names(), ", "))
+	out := fs.String("o", "", "output file (default <device>.json)")
+	rw := fs.String("rw", "randwrite", "workload for the grid: randwrite, randread, write, read")
+	runtime := fs.Duration("runtime", 10*time.Second, "per-point runtime bound")
+	bytes := fs.Int64("bytes", 2<<30, "per-point byte bound")
+	seed := fs.Uint64("seed", 42, "random seed")
+	fs.Parse(args)
+
+	op, pat := device.OpWrite, workload.Rand
+	switch *rw {
+	case "randwrite":
+	case "randread":
+		op = device.OpRead
+	case "write":
+		pat = workload.Seq
+	case "read":
+		op, pat = device.OpRead, workload.Seq
+	default:
+		fatal("unknown -rw %q", *rw)
+	}
+	fmt.Fprintf(os.Stderr, "sweeping %s (%s grid, %v/%d bytes per point)...\n", *dev, *rw, *runtime, *bytes)
+	m, err := sweep.BuildModel(*dev, op, pat, *seed, *runtime, *bytes)
+	if err != nil {
+		fatal("%v", err)
+	}
+	path := *out
+	if path == "" {
+		path = strings.ToLower(*dev) + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s: %d operating points, power %.2f-%.2f W, max %.0f MB/s\n",
+		path, len(m.Samples()), m.MinPowerW(), m.MaxPowerW(), m.MaxThroughputMBps())
+}
+
+func info(args []string) {
+	for _, m := range loadModels(args) {
+		fmt.Printf("%s: %d points\n", m.Device(), len(m.Samples()))
+		fmt.Printf("  power %.2f-%.2f W (dynamic range %.1f%% of max)\n",
+			m.MinPowerW(), m.MaxPowerW(), 100*m.DynamicRangeFrac())
+		fmt.Printf("  throughput ≤ %.0f MB/s\n", m.MaxThroughputMBps())
+		fmt.Printf("  Pareto frontier:\n")
+		for _, s := range m.ParetoFrontier() {
+			fmt.Printf("    %6.2f W  %8.0f MB/s  %v\n", s.PowerW, s.ThroughputMBps, s.Config)
+		}
+	}
+}
+
+func plan(args []string) {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	budget := fs.Float64("budget", 0, "fleet power budget in watts")
+	fs.Parse(args)
+	if *budget <= 0 {
+		fatal("plan needs -budget")
+	}
+	fleet, err := core.NewFleet(loadModels(fs.Args())...)
+	if err != nil {
+		fatal("%v", err)
+	}
+	a, ok := fleet.BestUnderPower(*budget)
+	if !ok {
+		fatal("no assignment fits %.2f W (fleet minimum is above it)", *budget)
+	}
+	fmt.Printf("budget %.2f W → plan %.2f W, %.0f MB/s\n", *budget, a.TotalPowerW, a.TotalMBps)
+	for _, m := range fleet.Models() {
+		s := a.Configs[m.Device()]
+		fmt.Printf("  %-6s ps%d, chunk %d KiB, qd %d  (%.2f W, %.0f MB/s)\n",
+			m.Device(), s.PowerState, s.ChunkBytes/1024, s.Depth, s.PowerW, s.ThroughputMBps)
+	}
+}
+
+func curtail(args []string) {
+	fs := flag.NewFlagSet("curtail", flag.ExitOnError)
+	reduce := fs.Float64("reduce", 0.2, "power reduction fraction (0,1)")
+	chunk := fs.Int64("chunk", 256<<10, "current chunk size in bytes")
+	depth := fs.Int("depth", 64, "current queue depth")
+	ps := fs.Int("ps", 0, "current power state")
+	fs.Parse(args)
+	models := loadModels(fs.Args())
+	if len(models) != 1 {
+		fatal("curtail takes exactly one model")
+	}
+	m := models[0]
+	var from core.Sample
+	found := false
+	for _, s := range m.Samples() {
+		if s.PowerState == *ps && s.ChunkBytes == *chunk && s.Depth == *depth {
+			from, found = s, true
+			break
+		}
+	}
+	if !found {
+		fatal("no operating point ps%d/%dB/qd%d in the model", *ps, *chunk, *depth)
+	}
+	planned, err := m.Curtail(from, *reduce)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("from %v: %.2f W, %.0f MB/s\n", planned.From.Config, planned.From.PowerW, planned.From.ThroughputMBps)
+	fmt.Printf("to   %v: %.2f W, %.0f MB/s\n", planned.To.Config, planned.To.PowerW, planned.To.ThroughputMBps)
+	fmt.Printf("sheds %.2f W (%.0f%%); curtail %.0f MB/s of best-effort load (keep %.0f%% throughput)\n",
+		planned.PowerSavedW, 100*planned.PowerReduction, planned.CurtailMBps, 100*planned.ThroughputKept)
+}
+
+func slo(args []string) {
+	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+	budget := fs.Float64("budget", 0, "power budget in watts (0 = unconstrained)")
+	p99 := fs.Duration("p99", 0, "maximum p99 latency")
+	avg := fs.Duration("avg", 0, "maximum average latency")
+	minMBps := fs.Float64("minmbps", 0, "minimum throughput")
+	fs.Parse(args)
+	models := loadModels(fs.Args())
+	if len(models) != 1 {
+		fatal("slo takes exactly one model")
+	}
+	m := models[0]
+	obj := core.SLO{MaxAvgLat: *avg, MaxP99Lat: *p99, MinMBps: *minMBps}
+	fmt.Printf("SLO: %v\n", obj)
+	if *budget > 0 {
+		if s, ok := m.BestUnderPowerSLO(*budget, obj); ok {
+			fmt.Printf("best under %.2f W: %v → %.2f W, %.0f MB/s (p99 %v)\n",
+				*budget, s.Config, s.PowerW, s.ThroughputMBps, s.P99Lat)
+		} else {
+			fmt.Printf("no operating point fits %.2f W under this SLO\n", *budget)
+		}
+		return
+	}
+	if s, ok := m.MinPowerSLO(obj); ok {
+		fmt.Printf("lowest power meeting SLO: %v → %.2f W, %.0f MB/s (p99 %v)\n",
+			s.Config, s.PowerW, s.ThroughputMBps, s.P99Lat)
+	} else {
+		fmt.Println("no operating point meets this SLO")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "powerfleet: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Pareto: the paper's §3.3 end to end. Sweep the full IO-shape ×
+// power-state grid on two heterogeneous SSDs to build their
+// power-throughput models, combine them into a fleet Pareto frontier,
+// and let the budget controller pick and apply concrete power states
+// for a sequence of shrinking power budgets — including the paper's
+// worked curtailment example on SSD1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wattio/internal/adaptive"
+	"wattio/internal/catalog"
+	"wattio/internal/core"
+	"wattio/internal/device"
+	"wattio/internal/sim"
+	"wattio/internal/sweep"
+	"wattio/internal/workload"
+)
+
+func main() {
+	fmt.Println("building power-throughput models (random write grid)...")
+	models := map[string]*core.Model{}
+	for _, name := range []string{"SSD1", "SSD2"} {
+		m, err := sweep.BuildModel(name, device.OpWrite, workload.Rand, 42, 3*time.Second, 512<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models[name] = m
+		fmt.Printf("  %s: %d operating points, power %.1f-%.1f W (dynamic range %.1f%%)\n",
+			name, len(m.Samples()), m.MinPowerW(), m.MaxPowerW(), 100*m.DynamicRangeFrac())
+	}
+
+	// The paper's worked example: SSD1 at qd64/256KiB, shed 20% power.
+	var from core.Sample
+	for _, s := range models["SSD1"].Samples() {
+		if s.PowerState == 0 && s.Depth == 64 && s.ChunkBytes == 256<<10 {
+			from = s
+			break
+		}
+	}
+	plan, err := models["SSD1"].Curtail(from, 0.20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSSD1 curtailment for a 20%% power cut:\n")
+	fmt.Printf("  from %v: %.2f W, %.2f GiB/s\n", plan.From.Config, plan.From.PowerW, plan.From.ThroughputMBps/1073.74)
+	fmt.Printf("  to   %v: %.2f W, %.2f GiB/s\n", plan.To.Config, plan.To.PowerW, plan.To.ThroughputMBps/1073.74)
+	fmt.Printf("  curtail %.2f GiB/s of best-effort load; keep %.0f%% of throughput\n",
+		plan.CurtailMBps/1073.74, 100*plan.ThroughputKept)
+
+	// Fleet frontier across both devices.
+	fleet, err := core.NewFleet(models["SSD1"], models["SSD2"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr := fleet.ParetoFrontier()
+	fmt.Printf("\nfleet Pareto frontier: %d assignments from %.1f W to %.1f W\n",
+		len(fr), fr[0].TotalPowerW, fr[len(fr)-1].TotalPowerW)
+
+	// Apply shrinking budgets to live devices.
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(3)
+	live := []device.Device{catalog.NewSSD1(eng, rng.Stream("1")), catalog.NewSSD2(eng, rng.Stream("2"))}
+	bc, err := adaptive.NewBudgetController(fleet, live)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbudget controller:")
+	for _, budget := range []float64{25, 20, 16, 13} {
+		a, err := bc.Apply(budget)
+		if err != nil {
+			fmt.Printf("  %5.1f W: %v\n", budget, err)
+			continue
+		}
+		fmt.Printf("  %5.1f W budget → %.1f W, %.0f MB/s:", budget, a.TotalPowerW, a.TotalMBps)
+		for _, name := range []string{"SSD1", "SSD2"} {
+			s := a.Configs[name]
+			fmt.Printf("  %s→ps%d/%dKiB/qd%d", name, s.PowerState, s.ChunkBytes/1024, s.Depth)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module wattio
+
+go 1.22

@@ -1,0 +1,69 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"wattio/internal/core"
+	"wattio/internal/device"
+)
+
+// BudgetController turns a fleet-wide power budget into concrete device
+// settings using the power-throughput models the measurement study
+// produces (§3.3, §4: "using SLOs and power budgets as inputs").
+//
+// Power states it applies directly; IO shapes it cannot force on
+// applications, so the chosen assignment doubles as the IO-shaping
+// advice the storage scheduler should enforce.
+type BudgetController struct {
+	fleet *core.Fleet
+	devs  map[string]device.Device
+}
+
+// NewBudgetController binds models to the live devices they describe.
+// Every model must have a device and vice versa.
+func NewBudgetController(fleet *core.Fleet, devs []device.Device) (*BudgetController, error) {
+	byName := make(map[string]device.Device, len(devs))
+	for _, d := range devs {
+		byName[d.Name()] = d
+	}
+	for _, m := range fleet.Models() {
+		if _, ok := byName[m.Device()]; !ok {
+			return nil, fmt.Errorf("adaptive: model %s has no live device", m.Device())
+		}
+	}
+	if len(byName) != len(fleet.Models()) {
+		return nil, fmt.Errorf("adaptive: %d devices but %d models", len(byName), len(fleet.Models()))
+	}
+	return &BudgetController{fleet: fleet, devs: byName}, nil
+}
+
+// Apply selects the highest-throughput assignment under budgetW and
+// applies each device's power state. It returns the assignment so the
+// IO scheduler can apply the chunk/depth advice.
+func (c *BudgetController) Apply(budgetW float64) (core.Assignment, error) {
+	a, ok := c.fleet.BestUnderPower(budgetW)
+	if !ok {
+		return core.Assignment{}, fmt.Errorf("adaptive: no fleet assignment fits %.2f W", budgetW)
+	}
+	for name, s := range a.Configs {
+		dev := c.devs[name]
+		if len(dev.PowerStates()) == 0 {
+			continue // no host-selectable states (SATA SSD, HDD)
+		}
+		if err := dev.SetPowerState(s.PowerState); err != nil {
+			return core.Assignment{}, fmt.Errorf("adaptive: applying ps%d to %s: %w", s.PowerState, name, err)
+		}
+	}
+	return a, nil
+}
+
+// Headroom reports the measured instantaneous draw against a budget.
+// Negative headroom means the fleet is over budget right now — the
+// signal the paper's §4.1 safety discussion keys rollout decisions on.
+func (c *BudgetController) Headroom(budgetW float64) float64 {
+	var sum float64
+	for _, d := range c.devs {
+		sum += d.InstantPower()
+	}
+	return budgetW - sum
+}

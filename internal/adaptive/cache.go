@@ -1,0 +1,158 @@
+package adaptive
+
+import (
+	"container/list"
+	"fmt"
+
+	"wattio/internal/device"
+)
+
+// ReadCache is the paper's §4 "power-aware caching and prefetching may
+// mask read latencies for data stored on standby devices (cf. EXCES)":
+// an LRU block cache on a fast device that absorbs reads for a slow
+// device, extending the slow device's standby residency. Writes
+// invalidate and pass through (the TierManager handles write
+// absorption; composing both gives the full EXCES behavior).
+type ReadCache struct {
+	fast, slow device.Device
+
+	blockSize int64
+	base      int64 // cache region start on the fast device
+	slots     int64 // number of block slots
+
+	lru     *list.List              // front = most recent; values are *cacheEntry
+	byBlock map[int64]*list.Element // slow-device block index → entry
+	bySlot  map[int64]struct{}      // allocated slots (for invariants)
+	free    []int64                 // free slot indices
+
+	// Hits and Misses count read lookups; Saves counts reads served
+	// while the slow device was in standby (wakes avoided).
+	Hits, Misses, Saves int
+}
+
+type cacheEntry struct {
+	block int64 // slow-device block index
+	slot  int64 // fast-device slot index
+}
+
+// NewReadCache builds a cache of capacityBytes on the fast device
+// starting at base, caching blockSize-aligned blocks of the slow
+// device.
+func NewReadCache(fast, slow device.Device, base, capacityBytes, blockSize int64) (*ReadCache, error) {
+	switch {
+	case blockSize <= 0 || blockSize%512 != 0:
+		return nil, fmt.Errorf("adaptive: cache block size %d invalid", blockSize)
+	case capacityBytes < blockSize:
+		return nil, fmt.Errorf("adaptive: cache capacity %d below one block", capacityBytes)
+	case base < 0 || base+capacityBytes > fast.CapacityBytes():
+		return nil, fmt.Errorf("adaptive: cache region outside fast device")
+	}
+	c := &ReadCache{
+		fast: fast, slow: slow,
+		blockSize: blockSize,
+		base:      base,
+		slots:     capacityBytes / blockSize,
+		lru:       list.New(),
+		byBlock:   map[int64]*list.Element{},
+		bySlot:    map[int64]struct{}{},
+	}
+	for s := c.slots - 1; s >= 0; s-- {
+		c.free = append(c.free, s)
+	}
+	return c, nil
+}
+
+// Submit serves one request. Reads that hit go to the fast device;
+// misses go to the slow device (waking it if needed) and are then
+// inserted. Writes invalidate overlapping blocks and pass through to
+// the slow device.
+//
+// Only requests that fit entirely inside one cache block are cacheable;
+// others bypass. Callers wanting full coverage issue block-aligned IO.
+func (c *ReadCache) Submit(req device.Request, done func()) {
+	if err := req.Validate(c.slow.CapacityBytes()); err != nil {
+		panic(fmt.Sprintf("adaptive: cache: %v", err))
+	}
+	block := req.Offset / c.blockSize
+	spansOne := (req.Offset+req.Size-1)/c.blockSize == block
+
+	if req.Op == device.OpWrite {
+		// Invalidate every overlapped block, then write through.
+		last := (req.Offset + req.Size - 1) / c.blockSize
+		for b := block; b <= last; b++ {
+			if el, ok := c.byBlock[b]; ok {
+				c.evict(el)
+			}
+		}
+		c.slow.Submit(req, done)
+		return
+	}
+
+	if !spansOne {
+		c.slow.Submit(req, done)
+		return
+	}
+	if el, ok := c.byBlock[block]; ok {
+		c.Hits++
+		if c.slow.Standby() {
+			c.Saves++
+		}
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		off := c.base + e.slot*c.blockSize + (req.Offset - block*c.blockSize)
+		c.fast.Submit(device.Request{Op: device.OpRead, Offset: off, Size: req.Size}, done)
+		return
+	}
+	c.Misses++
+	// Miss: read the whole block from the slow device (waking it), copy
+	// it into a slot, and complete the caller after the slow read —
+	// the insert write proceeds in the background.
+	blockReq := device.Request{Op: device.OpRead, Offset: block * c.blockSize, Size: c.blockSize}
+	if blockReq.Offset+blockReq.Size > c.slow.CapacityBytes() {
+		c.slow.Submit(req, done) // tail block; don't cache
+		return
+	}
+	c.slow.Submit(blockReq, func() {
+		slot := c.allocate(block)
+		c.fast.Submit(device.Request{Op: device.OpWrite, Offset: c.base + slot*c.blockSize, Size: c.blockSize}, func() {})
+		done()
+	})
+}
+
+// allocate finds a slot for block, evicting the LRU entry if full.
+func (c *ReadCache) allocate(block int64) int64 {
+	if el, ok := c.byBlock[block]; ok {
+		// A concurrent miss already inserted it.
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).slot
+	}
+	if len(c.free) == 0 {
+		c.evict(c.lru.Back())
+	}
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	e := &cacheEntry{block: block, slot: slot}
+	c.byBlock[block] = c.lru.PushFront(e)
+	c.bySlot[slot] = struct{}{}
+	return slot
+}
+
+func (c *ReadCache) evict(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.byBlock, e.block)
+	delete(c.bySlot, e.slot)
+	c.free = append(c.free, e.slot)
+}
+
+// Len returns the number of cached blocks.
+func (c *ReadCache) Len() int { return c.lru.Len() }
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (c *ReadCache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

@@ -1,0 +1,166 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/device"
+	"wattio/internal/sim"
+)
+
+func newCachePair(t *testing.T, capBlocks int64) (*ReadCache, device.Device, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(13)
+	fast := catalog.NewSSD3(eng, rng.Stream("fast"))
+	slow := catalog.NewHDD(eng, rng.Stream("slow"))
+	const block = 64 << 10
+	c, err := NewReadCache(fast, slow, 0, capBlocks*block, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, slow, eng
+}
+
+func readAt(eng *sim.Engine, c *ReadCache, off, size int64) time.Duration {
+	start := eng.Now()
+	done := false
+	c.Submit(device.Request{Op: device.OpRead, Offset: off, Size: size}, func() { done = true })
+	for !done && eng.Step() {
+	}
+	return eng.Now() - start
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c, _, eng := newCachePair(t, 16)
+	// A far offset forces real HDD positioning (offset 0 would stream
+	// from the parked head position).
+	const off = int64(1) << 30
+	miss := readAt(eng, c, off, 4096)
+	hit := readAt(eng, c, off, 4096)
+	if c.Misses != 1 || c.Hits != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+	// The miss pays HDD positioning (ms); the hit is SSD-fast (µs).
+	if miss < time.Millisecond {
+		t.Errorf("miss took %v, expected HDD positioning", miss)
+	}
+	if hit > time.Millisecond {
+		t.Errorf("hit took %v, expected SSD latency", hit)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d blocks, want 1", c.Len())
+	}
+}
+
+func TestCacheServesStandbyReadsWithoutWake(t *testing.T) {
+	c, slow, eng := newCachePair(t, 16)
+	readAt(eng, c, 0, 4096) // populate while awake
+	slow.EnterStandby()
+	eng.RunUntil(eng.Now() + 5*time.Second)
+	if !slow.Standby() {
+		t.Fatal("HDD not in standby")
+	}
+	lat := readAt(eng, c, 0, 4096)
+	if !slow.Standby() {
+		t.Fatal("cached read woke the HDD")
+	}
+	if c.Saves != 1 {
+		t.Errorf("Saves = %d, want 1", c.Saves)
+	}
+	if lat > time.Millisecond {
+		t.Errorf("standby hit took %v", lat)
+	}
+}
+
+func TestCacheSubBlockOffsetsHitSameBlock(t *testing.T) {
+	c, _, eng := newCachePair(t, 16)
+	readAt(eng, c, 0, 4096)
+	readAt(eng, c, 8192, 4096) // same 64 KiB block, different offset
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, _, eng := newCachePair(t, 2)
+	const block = 64 << 10
+	readAt(eng, c, 0*block, 4096)
+	readAt(eng, c, 1*block, 4096)
+	readAt(eng, c, 0*block, 4096) // touch block 0: block 1 is now LRU
+	readAt(eng, c, 2*block, 4096) // evicts block 1
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d, want 2", c.Len())
+	}
+	readAt(eng, c, 0*block, 4096)
+	if c.Hits != 2 {
+		t.Errorf("block 0 evicted despite being MRU (hits=%d)", c.Hits)
+	}
+	misses := c.Misses
+	readAt(eng, c, 1*block, 4096)
+	if c.Misses != misses+1 {
+		t.Error("evicted block 1 still served from cache")
+	}
+}
+
+func TestCacheWriteInvalidates(t *testing.T) {
+	c, _, eng := newCachePair(t, 16)
+	readAt(eng, c, 0, 4096)
+	done := false
+	c.Submit(device.Request{Op: device.OpWrite, Offset: 0, Size: 4096}, func() { done = true })
+	for !done && eng.Step() {
+	}
+	if c.Len() != 0 {
+		t.Fatalf("write did not invalidate the block (len=%d)", c.Len())
+	}
+	misses := c.Misses
+	readAt(eng, c, 0, 4096)
+	if c.Misses != misses+1 {
+		t.Error("stale block served after invalidating write")
+	}
+}
+
+func TestCacheMultiBlockBypasses(t *testing.T) {
+	c, _, eng := newCachePair(t, 16)
+	const block = 64 << 10
+	done := false
+	c.Submit(device.Request{Op: device.OpRead, Offset: block / 2, Size: block}, func() { done = true })
+	for !done && eng.Step() {
+	}
+	if c.Hits+c.Misses != 0 {
+		t.Error("spanning read counted as a cache lookup")
+	}
+	if c.Len() != 0 {
+		t.Error("spanning read inserted into cache")
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(13)
+	fast := catalog.NewSSD3(eng, rng.Stream("fast"))
+	slow := catalog.NewHDD(eng, rng.Stream("slow"))
+	if _, err := NewReadCache(fast, slow, 0, 1<<20, 1000); err == nil {
+		t.Error("unaligned block size accepted")
+	}
+	if _, err := NewReadCache(fast, slow, 0, 1024, 64<<10); err == nil {
+		t.Error("capacity below one block accepted")
+	}
+	if _, err := NewReadCache(fast, slow, fast.CapacityBytes(), 1<<20, 64<<10); err == nil {
+		t.Error("region outside fast device accepted")
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c, _, eng := newCachePair(t, 16)
+	if c.HitRate() != 0 {
+		t.Error("empty cache has nonzero hit rate")
+	}
+	readAt(eng, c, 0, 4096)
+	readAt(eng, c, 0, 4096)
+	readAt(eng, c, 0, 4096)
+	if r := c.HitRate(); r < 0.66 || r > 0.67 {
+		t.Errorf("hit rate = %v, want 2/3", r)
+	}
+}

@@ -1,0 +1,120 @@
+package adaptive
+
+import (
+	"fmt"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/sim"
+)
+
+// Governor is the model-free counterpart to BudgetController: a
+// closed-loop feedback controller that periodically measures a device's
+// average power and steps its NVMe power state down when over budget
+// and back up when there is headroom. Operators run this where no
+// power-throughput model has been built yet, or as a safety net under
+// the model-based plan — §4.1's "local failures to control power" are
+// exactly what the feedback loop catches.
+type Governor struct {
+	eng *sim.Engine
+	dev device.Device
+
+	budgetW float64
+	period  time.Duration
+	// HeadroomFrac is the fraction of budget that must be free before
+	// the governor steps back up (hysteresis against flapping).
+	HeadroomFrac float64
+
+	running bool
+	tick    *sim.Timer
+	lastE   float64
+	lastT   time.Duration
+
+	// Steps counts power-state changes; Overs counts measurement
+	// periods that ended over budget.
+	Steps, Overs int
+}
+
+// NewGovernor builds a governor over a device with host-selectable
+// power states.
+func NewGovernor(eng *sim.Engine, dev device.Device, budgetW float64, period time.Duration) (*Governor, error) {
+	if len(dev.PowerStates()) < 2 {
+		return nil, fmt.Errorf("adaptive: %s has no power states to govern", dev.Name())
+	}
+	if budgetW <= 0 {
+		return nil, fmt.Errorf("adaptive: budget must be positive")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("adaptive: period must be positive")
+	}
+	return &Governor{
+		eng: eng, dev: dev,
+		budgetW: budgetW, period: period,
+		HeadroomFrac: 0.15,
+	}, nil
+}
+
+// SetBudget retargets the governor; takes effect at the next period.
+func (g *Governor) SetBudget(w float64) { g.budgetW = w }
+
+// Budget returns the current target.
+func (g *Governor) Budget() float64 { return g.budgetW }
+
+// Start begins the control loop.
+func (g *Governor) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.lastE = g.dev.EnergyJ()
+	g.lastT = g.eng.Now()
+	g.schedule()
+}
+
+// Stop halts the control loop, leaving the device in its current state.
+func (g *Governor) Stop() {
+	g.running = false
+	if g.tick != nil {
+		g.tick.Stop()
+		g.tick = nil
+	}
+}
+
+func (g *Governor) schedule() {
+	g.tick = g.eng.After(g.period, func() {
+		if !g.running {
+			return
+		}
+		g.control()
+		g.schedule()
+	})
+}
+
+// control runs one feedback step on the trailing period's average power.
+func (g *Governor) control() {
+	now := g.eng.Now()
+	e := g.dev.EnergyJ()
+	avgW := (e - g.lastE) / (now - g.lastT).Seconds()
+	g.lastE, g.lastT = e, now
+
+	ps := g.dev.PowerStateIndex()
+	nStates := len(g.dev.PowerStates())
+	switch {
+	case avgW > g.budgetW:
+		g.Overs++
+		if ps < nStates-1 {
+			if err := g.dev.SetPowerState(ps + 1); err == nil {
+				g.Steps++
+			}
+		}
+	case avgW < g.budgetW*(1-g.HeadroomFrac) && ps > 0:
+		// Only step up if the next state's cap also fits the budget;
+		// otherwise stepping up guarantees re-violation.
+		upCap := g.dev.PowerStates()[ps-1].MaxPowerW
+		if upCap == 0 || upCap <= g.budgetW {
+			if err := g.dev.SetPowerState(ps - 1); err == nil {
+				g.Steps++
+			}
+		}
+	}
+}

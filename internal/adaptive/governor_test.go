@@ -1,0 +1,117 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/device"
+	"wattio/internal/sim"
+	"wattio/internal/workload"
+)
+
+func TestGovernorStepsDownUnderLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(23)
+	dev := catalog.NewSSD2(eng, rng)
+	g, err := NewGovernor(eng, dev, 11, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	// Saturating writes draw ~14.8 W at ps0 — over the 11 W budget.
+	res := workload.Run(eng, dev, workload.Job{
+		Op: device.OpWrite, Pattern: workload.Rand, BS: 256 << 10, Depth: 64,
+		Runtime: 4 * time.Second, TotalBytes: 8 << 30,
+	}, rng)
+	g.Stop()
+	if res.IOs == 0 {
+		t.Fatal("no IO")
+	}
+	if dev.PowerStateIndex() != 2 {
+		t.Errorf("governor left device at ps%d, want ps2 (only ps2 caps below 11 W)", dev.PowerStateIndex())
+	}
+	if g.Overs == 0 || g.Steps == 0 {
+		t.Errorf("governor never acted: overs=%d steps=%d", g.Overs, g.Steps)
+	}
+	// Steady state: the trailing-period power must end under budget.
+	e0, t0 := dev.EnergyJ(), eng.Now()
+	r2 := workload.Start(eng, dev, workload.Job{
+		Op: device.OpWrite, Pattern: workload.Rand, BS: 256 << 10, Depth: 64,
+		Runtime: 2 * time.Second,
+	}, rng)
+	eng.RunUntil(eng.Now() + 2*time.Second)
+	_ = r2
+	avg := (dev.EnergyJ() - e0) / (eng.Now() - t0).Seconds()
+	if avg > 11*1.03 {
+		t.Errorf("steady power %.2f W over the 11 W budget", avg)
+	}
+}
+
+func TestGovernorStepsBackUpWhenIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(23)
+	dev := catalog.NewSSD2(eng, rng)
+	dev.SetPowerState(2)
+	g, err := NewGovernor(eng, dev, 30, 100*time.Millisecond) // generous budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.RunUntil(eng.Now() + time.Second)
+	g.Stop()
+	if dev.PowerStateIndex() != 0 {
+		t.Errorf("governor left idle device at ps%d under a 30 W budget, want ps0", dev.PowerStateIndex())
+	}
+}
+
+func TestGovernorRespectsStateCapWhenSteppingUp(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(23)
+	dev := catalog.NewSSD2(eng, rng)
+	dev.SetPowerState(2)
+	// Budget 11 W: device idles at 5 W (headroom), but ps1's cap is
+	// 12 W > 11, and ps0 means uncapped writes — the governor must
+	// stay at ps2 rather than oscillate.
+	g, err := NewGovernor(eng, dev, 11, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.RunUntil(eng.Now() + time.Second)
+	g.Stop()
+	if dev.PowerStateIndex() != 2 {
+		t.Errorf("governor stepped to ps%d whose cap exceeds the budget", dev.PowerStateIndex())
+	}
+}
+
+func TestGovernorValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(23)
+	hdd := catalog.NewHDD(eng, rng)
+	if _, err := NewGovernor(eng, hdd, 5, time.Second); err == nil {
+		t.Error("governor accepted a device without power states")
+	}
+	ssd := catalog.NewSSD2(eng, rng)
+	if _, err := NewGovernor(eng, ssd, 0, time.Second); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := NewGovernor(eng, ssd, 10, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestGovernorStartStopIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(23)
+	dev := catalog.NewSSD2(eng, rng)
+	g, _ := NewGovernor(eng, dev, 12, 100*time.Millisecond)
+	g.Start()
+	g.Start()
+	g.Stop()
+	g.Stop()
+	eng.Run()
+	if eng.Pending() != 0 {
+		t.Errorf("%d events leaked after Stop", eng.Pending())
+	}
+}

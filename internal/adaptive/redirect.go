@@ -1,0 +1,205 @@
+// Package adaptive implements the power-adaptive storage-system
+// mechanisms the paper's §4 derives from its measurements:
+//
+//   - power-aware IO redirection to a subset of active replicas so
+//     inactive devices maximize standby residency (cf. SRCMap),
+//   - asymmetric IO placement that segregates writes onto a small
+//     uncapped set while power-capping read-mostly devices,
+//   - tiered write absorption, where an SSD masks an HDD's multi-second
+//     spin-up by absorbing writes into a log,
+//   - a budget controller that turns a fleet power budget into concrete
+//     power states and IO shapes using the core power-throughput models,
+//   - and a sub-rack incremental rollout plan with breaker-level safety
+//     checks (§4.1).
+package adaptive
+
+import (
+	"fmt"
+
+	"wattio/internal/device"
+)
+
+// Redirector routes IO across N devices holding replicated data,
+// keeping only an active subset spinning/awake so the rest accumulate
+// standby time. Reads and writes go to the least-loaded active replica;
+// standby replicas are resynchronized on activation (modeled as
+// instantaneous, as SRCMap's background sync is off the data path).
+//
+// Redirector implements device.Device so workloads and measurement rigs
+// compose with it; power-control methods act on the ensemble.
+type Redirector struct {
+	name        string
+	devs        []device.Device
+	active      []bool
+	outstanding []int
+
+	// WakesOnDemand counts IOs that arrived when no replica was
+	// active and forced a wake — QoS violations in SRCMap terms.
+	WakesOnDemand int
+}
+
+// NewRedirector builds a redirector over replicas of equal capacity,
+// with the first k devices active and the rest in standby.
+func NewRedirector(name string, devs []device.Device, k int) (*Redirector, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("adaptive: redirector needs devices")
+	}
+	if k < 1 || k > len(devs) {
+		return nil, fmt.Errorf("adaptive: active count %d out of [1, %d]", k, len(devs))
+	}
+	cap0 := devs[0].CapacityBytes()
+	for _, d := range devs[1:] {
+		if d.CapacityBytes() != cap0 {
+			return nil, fmt.Errorf("adaptive: replica capacities differ (%d vs %d)", d.CapacityBytes(), cap0)
+		}
+	}
+	r := &Redirector{
+		name:        name,
+		devs:        devs,
+		active:      make([]bool, len(devs)),
+		outstanding: make([]int, len(devs)),
+	}
+	for i := range devs {
+		r.active[i] = i < k
+	}
+	return r, r.applyStandby()
+}
+
+func (r *Redirector) applyStandby() error {
+	for i, d := range r.devs {
+		if r.active[i] {
+			if err := d.Wake(); err != nil && err != device.ErrNotSupported {
+				return err
+			}
+		} else {
+			if err := d.EnterStandby(); err != nil && err != device.ErrNotSupported {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SetActive resizes the active set to k replicas, waking or standing
+// down devices at the set boundary.
+func (r *Redirector) SetActive(k int) error {
+	if k < 1 || k > len(r.devs) {
+		return fmt.Errorf("adaptive: active count %d out of [1, %d]", k, len(r.devs))
+	}
+	for i := range r.devs {
+		r.active[i] = i < k
+	}
+	return r.applyStandby()
+}
+
+// ActiveCount returns the size of the active set.
+func (r *Redirector) ActiveCount() int {
+	n := 0
+	for _, a := range r.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Devices returns the managed replicas.
+func (r *Redirector) Devices() []device.Device { return r.devs }
+
+// pick returns the least-loaded active replica index, or -1 if none.
+func (r *Redirector) pick() int {
+	best := -1
+	for i := range r.devs {
+		if !r.active[i] {
+			continue
+		}
+		if best < 0 || r.outstanding[i] < r.outstanding[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Submit implements device.Device: the request goes to the least-loaded
+// active replica. If no replica is active (all forced to standby), the
+// first device is woken on demand and the wake is counted.
+func (r *Redirector) Submit(req device.Request, done func()) {
+	i := r.pick()
+	if i < 0 {
+		i = 0
+		r.WakesOnDemand++
+	}
+	r.outstanding[i]++
+	r.devs[i].Submit(req, func() {
+		r.outstanding[i]--
+		done()
+	})
+}
+
+// Name implements device.Device.
+func (r *Redirector) Name() string { return r.name }
+
+// Model implements device.Device.
+func (r *Redirector) Model() string { return fmt.Sprintf("redirector over %d replicas", len(r.devs)) }
+
+// Protocol implements device.Device; it reports the replicas' protocol.
+func (r *Redirector) Protocol() device.Protocol { return r.devs[0].Protocol() }
+
+// CapacityBytes implements device.Device: the logical capacity is one
+// replica's (the data is mirrored).
+func (r *Redirector) CapacityBytes() int64 { return r.devs[0].CapacityBytes() }
+
+// InstantPower implements device.Device as the ensemble total.
+func (r *Redirector) InstantPower() float64 {
+	var sum float64
+	for _, d := range r.devs {
+		sum += d.InstantPower()
+	}
+	return sum
+}
+
+// EnergyJ implements device.Device as the ensemble total.
+func (r *Redirector) EnergyJ() float64 {
+	var sum float64
+	for _, d := range r.devs {
+		sum += d.EnergyJ()
+	}
+	return sum
+}
+
+// PowerStates implements device.Device; the ensemble exposes no
+// NVMe-style states (use SetActive for coarse control).
+func (r *Redirector) PowerStates() []device.PowerState { return nil }
+
+// SetPowerState implements device.Device.
+func (r *Redirector) SetPowerState(int) error { return device.ErrNotSupported }
+
+// PowerStateIndex implements device.Device.
+func (r *Redirector) PowerStateIndex() int { return 0 }
+
+// EnterStandby implements device.Device by standing down every replica.
+func (r *Redirector) EnterStandby() error {
+	for i := range r.active {
+		r.active[i] = false
+	}
+	return r.applyStandby()
+}
+
+// Wake implements device.Device by restoring one active replica.
+func (r *Redirector) Wake() error { return r.SetActive(1) }
+
+// Standby implements device.Device: true when no replica is active.
+func (r *Redirector) Standby() bool { return r.ActiveCount() == 0 }
+
+// Settled implements device.Device: true when every replica's standby
+// or wake transition has finished.
+func (r *Redirector) Settled() bool {
+	for _, d := range r.devs {
+		if !d.Settled() {
+			return false
+		}
+	}
+	return true
+}
+
+var _ device.Device = (*Redirector)(nil)

@@ -1,0 +1,107 @@
+package adaptive
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/core"
+	"wattio/internal/device"
+	"wattio/internal/sim"
+	"wattio/internal/sweep"
+	"wattio/internal/workload"
+)
+
+// realModels caches the swept SSD1/SSD2 models: they are pure data,
+// independent of any engine, and expensive to rebuild per test.
+var realModels = struct {
+	once   sync.Once
+	models []*core.Model
+	err    error
+}{}
+
+// buildRealFleet sweeps small grids on SSD1 and SSD2 to get genuine
+// models (cached across tests), then binds them to fresh live devices.
+func buildRealFleet(t *testing.T, eng *sim.Engine, rng *sim.RNG) (*BudgetController, []device.Device) {
+	t.Helper()
+	realModels.once.Do(func() {
+		for _, name := range []string{"SSD1", "SSD2"} {
+			m, err := sweep.BuildModel(name, device.OpWrite, workload.Rand, 3, time.Second, 128<<20)
+			if err != nil {
+				realModels.err = err
+				return
+			}
+			realModels.models = append(realModels.models, m)
+		}
+	})
+	if realModels.err != nil {
+		t.Fatal(realModels.err)
+	}
+	fleet, err := core.NewFleet(realModels.models...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := []device.Device{catalog.NewSSD1(eng, rng.Stream("1")), catalog.NewSSD2(eng, rng.Stream("2"))}
+	ctrl, err := NewBudgetController(fleet, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, devs
+}
+
+func TestDemandResponseCompliesWithShrinkingBudget(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(17)
+	ctrl, devs := buildRealFleet(t, eng, rng)
+	dr := NewDemandResponse(eng, rng, ctrl, devs)
+	reports, err := dr.Run([]BudgetPhase{
+		{Duration: 2 * time.Second, BudgetW: 25},
+		{Duration: 2 * time.Second, BudgetW: 18},
+		{Duration: 2 * time.Second, BudgetW: 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d reports, want 3", len(reports))
+	}
+	for i, r := range reports {
+		t.Logf("phase %d: budget %.1fW plan %.1fW measured %.2fW at %.0f MB/s (compliant=%v)",
+			i, r.BudgetW, r.Assignment.TotalPowerW, r.AvgPowerW, r.MBps, r.Compliant)
+		if r.Assignment.TotalPowerW > r.BudgetW {
+			t.Errorf("phase %d: plan %.2fW exceeds budget %.2fW", i, r.Assignment.TotalPowerW, r.BudgetW)
+		}
+		if r.MBps <= 0 {
+			t.Errorf("phase %d: no throughput", i)
+		}
+	}
+	// Shrinking budgets must shrink measured power and throughput.
+	if !(reports[2].AvgPowerW < reports[0].AvgPowerW) {
+		t.Errorf("power did not shrink: %.2f → %.2f", reports[0].AvgPowerW, reports[2].AvgPowerW)
+	}
+	if !(reports[2].MBps < reports[0].MBps) {
+		t.Errorf("throughput did not shrink: %.0f → %.0f", reports[0].MBps, reports[2].MBps)
+	}
+	// The tightest phase must actually comply (within the 2% band plus
+	// the model's own sampling error; assert a slightly wider envelope).
+	if reports[2].AvgPowerW > reports[2].BudgetW*1.08 {
+		t.Errorf("phase 2 measured %.2fW against %.2fW budget", reports[2].AvgPowerW, reports[2].BudgetW)
+	}
+}
+
+func TestDemandResponseValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(17)
+	ctrl, devs := buildRealFleet(t, eng, rng)
+	dr := NewDemandResponse(eng, rng, ctrl, devs)
+	if _, err := dr.Run(nil); err == nil {
+		t.Error("empty phase list accepted")
+	}
+	if _, err := dr.Run([]BudgetPhase{{Duration: 0, BudgetW: 20}}); err == nil {
+		t.Error("zero-duration phase accepted")
+	}
+	if _, err := dr.Run([]BudgetPhase{{Duration: time.Second, BudgetW: 1}}); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}

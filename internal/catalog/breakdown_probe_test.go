@@ -1,0 +1,42 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/sim"
+	"wattio/internal/workload"
+)
+
+// TestSSD1Breakdown is a diagnostic: it logs the average per-component
+// power during SSD1's headline random-write workload so calibration
+// drift is attributable.
+func TestSSD1Breakdown(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(7)
+	dev := NewSSD1(eng, rng)
+	sums := make([]float64, 6)
+	n := 0
+	var sampler func()
+	sampler = func() {
+		_, watts := dev.PowerBreakdown()
+		for i, w := range watts {
+			sums[i] += w
+		}
+		n++
+		eng.After(time.Millisecond, sampler)
+	}
+	eng.After(time.Millisecond, sampler)
+	r := workload.Start(eng, dev, calJob(device.OpWrite, workload.Rand, 256*KiB, 64), rng)
+	for !r.Done() && eng.Step() {
+	}
+	names, _ := dev.PowerBreakdown()
+	total := 0.0
+	for i, s := range sums {
+		avg := s / float64(n)
+		total += avg
+		t.Logf("%-12s %.3f W", names[i], avg)
+	}
+	t.Logf("%-12s %.3f W over %d samples", "total", total, n)
+}

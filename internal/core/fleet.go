@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fleet combines the power-throughput models of multiple, possibly
+// heterogeneous devices. The paper (§3.3) observes that per-device
+// models can be combined to derive the performance Pareto frontier of
+// device configurations under a shared power budget — this type does
+// that combination.
+type Fleet struct {
+	models []*Model
+}
+
+// NewFleet builds a fleet over the given models.
+func NewFleet(models ...*Model) (*Fleet, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("core: fleet needs at least one model")
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if seen[m.Device()] {
+			return nil, fmt.Errorf("core: duplicate device %s in fleet", m.Device())
+		}
+		seen[m.Device()] = true
+	}
+	return &Fleet{models: models}, nil
+}
+
+// Models returns the fleet's member models.
+func (f *Fleet) Models() []*Model { return f.models }
+
+// Assignment is one operating point chosen for every device.
+type Assignment struct {
+	// Configs maps device label to the chosen operating point.
+	Configs map[string]Sample
+	// TotalPowerW and TotalMBps are the fleet-wide sums.
+	TotalPowerW float64
+	TotalMBps   float64
+}
+
+// ParetoFrontier computes the fleet-wide Pareto frontier: assignments of
+// one Pareto-optimal configuration per device such that no other
+// assignment has both lower total power and higher total throughput.
+//
+// It combines per-device frontiers pairwise (a pruned Minkowski sum),
+// so cost is bounded by the product of adjacent frontier sizes after
+// pruning, not by the full configuration cross-product.
+func (f *Fleet) ParetoFrontier() []Assignment {
+	acc := []Assignment{{Configs: map[string]Sample{}}}
+	for _, m := range f.models {
+		frontier := m.ParetoFrontier()
+		next := make([]Assignment, 0, len(acc)*len(frontier))
+		for _, a := range acc {
+			for _, s := range frontier {
+				cfgs := make(map[string]Sample, len(a.Configs)+1)
+				for k, v := range a.Configs {
+					cfgs[k] = v
+				}
+				cfgs[m.Device()] = s
+				next = append(next, Assignment{
+					Configs:     cfgs,
+					TotalPowerW: a.TotalPowerW + s.PowerW,
+					TotalMBps:   a.TotalMBps + s.ThroughputMBps,
+				})
+			}
+		}
+		acc = pruneDominated(next)
+	}
+	return acc
+}
+
+// pruneDominated keeps only assignments on the power-throughput Pareto
+// frontier, sorted by increasing power.
+func pruneDominated(as []Assignment) []Assignment {
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].TotalPowerW != as[j].TotalPowerW {
+			return as[i].TotalPowerW < as[j].TotalPowerW
+		}
+		return as[i].TotalMBps > as[j].TotalMBps
+	})
+	var out []Assignment
+	best := -1.0
+	for _, a := range as {
+		if a.TotalMBps > best {
+			out = append(out, a)
+			best = a.TotalMBps
+		}
+	}
+	return out
+}
+
+// BestUnderPower returns the frontier assignment with the highest total
+// throughput whose total power fits the budget. ok is false when even
+// the lowest-power assignment exceeds the budget.
+func (f *Fleet) BestUnderPower(budgetW float64) (best Assignment, ok bool) {
+	for _, a := range f.ParetoFrontier() {
+		if a.TotalPowerW <= budgetW {
+			best, ok = a, true // frontier is sorted by power, tput increases
+		} else {
+			break
+		}
+	}
+	return best, ok
+}
+
+// MinPowerMeeting returns the frontier assignment with the lowest total
+// power delivering at least the given total throughput.
+func (f *Fleet) MinPowerMeeting(tputMBps float64) (best Assignment, ok bool) {
+	for _, a := range f.ParetoFrontier() {
+		if a.TotalMBps >= tputMBps {
+			return a, true
+		}
+	}
+	return Assignment{}, false
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Model persistence: a measurement campaign is expensive (hours on real
+// hardware, minutes simulated), and the resulting model is what a
+// production power controller actually consumes. Models serialize to a
+// versioned JSON document so they can be built once and shipped.
+
+// modelDoc is the on-disk form.
+type modelDoc struct {
+	Version int         `json:"version"`
+	Device  string      `json:"device"`
+	Samples []sampleDoc `json:"samples"`
+}
+
+type sampleDoc struct {
+	PowerState int     `json:"power_state"`
+	Random     bool    `json:"random"`
+	Write      bool    `json:"write"`
+	ChunkBytes int64   `json:"chunk_bytes"`
+	Depth      int     `json:"depth"`
+	PowerW     float64 `json:"power_w"`
+	MBps       float64 `json:"mbps"`
+	AvgLatNs   int64   `json:"avg_lat_ns,omitempty"`
+	P99LatNs   int64   `json:"p99_lat_ns,omitempty"`
+}
+
+// persistVersion guards against silently reading future formats.
+const persistVersion = 1
+
+// Save writes the model as versioned JSON.
+func (m *Model) Save(w io.Writer) error {
+	doc := modelDoc{Version: persistVersion, Device: m.device}
+	for _, s := range m.samples {
+		doc.Samples = append(doc.Samples, sampleDoc{
+			PowerState: s.PowerState,
+			Random:     s.Random,
+			Write:      s.Write,
+			ChunkBytes: s.ChunkBytes,
+			Depth:      s.Depth,
+			PowerW:     s.PowerW,
+			MBps:       s.ThroughputMBps,
+			AvgLatNs:   s.AvgLat.Nanoseconds(),
+			P99LatNs:   s.P99Lat.Nanoseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load reads a model written by Save, revalidating every sample.
+func Load(r io.Reader) (*Model, error) {
+	var doc modelDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if doc.Version != persistVersion {
+		return nil, fmt.Errorf("core: model version %d, this build reads %d", doc.Version, persistVersion)
+	}
+	samples := make([]Sample, len(doc.Samples))
+	for i, d := range doc.Samples {
+		samples[i] = Sample{
+			Config: Config{
+				Device:     doc.Device,
+				PowerState: d.PowerState,
+				Random:     d.Random,
+				Write:      d.Write,
+				ChunkBytes: d.ChunkBytes,
+				Depth:      d.Depth,
+			},
+			PowerW:         d.PowerW,
+			ThroughputMBps: d.MBps,
+			AvgLat:         time.Duration(d.AvgLatNs),
+			P99Lat:         time.Duration(d.P99LatNs),
+		}
+	}
+	return NewModel(doc.Device, samples)
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := testModel(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Device() != orig.Device() {
+		t.Errorf("device %q != %q", got.Device(), orig.Device())
+	}
+	a, b := orig.Samples(), got.Samples()
+	if len(a) != len(b) {
+		t.Fatalf("sample counts %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("sample %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+	if got.MaxPowerW() != orig.MaxPowerW() || got.MaxThroughputMBps() != orig.MaxThroughputMBps() {
+		t.Error("derived maxima differ after round trip")
+	}
+}
+
+func TestSaveLoadPreservesLatency(t *testing.T) {
+	m, _ := NewModel("D", []Sample{latSample(1, 7, 2500, 1200*time.Microsecond, 3*time.Millisecond)})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.Samples()[0]
+	if s.AvgLat != 1200*time.Microsecond || s.P99Lat != 3*time.Millisecond {
+		t.Errorf("latencies lost: %v / %v", s.AvgLat, s.P99Lat)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": `{"version": 99, "device": "D", "samples": [{"power_w": 1, "mbps": 1}]}`,
+		"unknown field": `{"version": 1, "device": "D", "surprise": true, "samples": []}`,
+		"no samples":    `{"version": 1, "device": "D", "samples": []}`,
+		"bad power":     `{"version": 1, "device": "D", "samples": [{"power_w": 0, "mbps": 1}]}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(in)); err == nil {
+				t.Fatalf("Load accepted %s", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// The paper (§4): "For latency, a similar model can be drawn from the
+// measurement results." This file adds latency-aware queries: the same
+// Pareto/budget machinery, but constrained by service-level objectives
+// on average or tail latency.
+
+// SLO is a service-level objective an operating point must satisfy.
+// Zero fields are unconstrained.
+type SLO struct {
+	MaxAvgLat time.Duration
+	MaxP99Lat time.Duration
+	MinMBps   float64
+}
+
+// Meets reports whether the sample satisfies the SLO.
+func (s SLO) Meets(x Sample) bool {
+	if s.MaxAvgLat > 0 && x.AvgLat > s.MaxAvgLat {
+		return false
+	}
+	if s.MaxP99Lat > 0 && x.P99Lat > s.MaxP99Lat {
+		return false
+	}
+	if s.MinMBps > 0 && x.ThroughputMBps < s.MinMBps {
+		return false
+	}
+	return true
+}
+
+// String renders the SLO compactly.
+func (s SLO) String() string {
+	out := ""
+	if s.MaxAvgLat > 0 {
+		out += fmt.Sprintf("avg≤%v ", s.MaxAvgLat)
+	}
+	if s.MaxP99Lat > 0 {
+		out += fmt.Sprintf("p99≤%v ", s.MaxP99Lat)
+	}
+	if s.MinMBps > 0 {
+		out += fmt.Sprintf("tput≥%.0fMBps ", s.MinMBps)
+	}
+	if out == "" {
+		return "unconstrained"
+	}
+	return out[:len(out)-1]
+}
+
+// BestUnderPowerSLO returns the highest-throughput operating point that
+// fits the power budget and satisfies the SLO.
+func (m *Model) BestUnderPowerSLO(budgetW float64, slo SLO) (best Sample, ok bool) {
+	for _, s := range m.samples {
+		if s.PowerW > budgetW || !slo.Meets(s) {
+			continue
+		}
+		if !ok || s.ThroughputMBps > best.ThroughputMBps {
+			best, ok = s, true
+		}
+	}
+	return best, ok
+}
+
+// MinPowerSLO returns the lowest-power operating point satisfying the
+// SLO — the configuration a power-shedding controller should pick when
+// it must preserve a latency guarantee.
+func (m *Model) MinPowerSLO(slo SLO) (best Sample, ok bool) {
+	for _, s := range m.samples {
+		if !slo.Meets(s) {
+			continue
+		}
+		if !ok || s.PowerW < best.PowerW {
+			best, ok = s, true
+		}
+	}
+	return best, ok
+}
+
+// PowerLatencyFrontier returns the points not dominated in the
+// (power, p99 latency) plane: no other point has both lower power and
+// lower tail latency. Sorted by increasing power.
+func (m *Model) PowerLatencyFrontier() []Sample {
+	sorted := m.Samples()
+	// Points without latency data cannot sit on a latency frontier.
+	filtered := sorted[:0]
+	for _, s := range sorted {
+		if s.P99Lat > 0 {
+			filtered = append(filtered, s)
+		}
+	}
+	sortByPowerThenLat(filtered)
+	var out []Sample
+	best := time.Duration(1<<63 - 1)
+	for _, s := range filtered {
+		if s.P99Lat < best {
+			out = append(out, s)
+			best = s.P99Lat
+		}
+	}
+	return out
+}
+
+func sortByPowerThenLat(xs []Sample) {
+	// Insertion sort keeps this dependency-free and stable; frontier
+	// inputs are small (≤ a few hundred points).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := xs[j-1], xs[j]
+			if b.PowerW < a.PowerW || (b.PowerW == a.PowerW && b.P99Lat < a.P99Lat) {
+				xs[j-1], xs[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package device
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestValidate(t *testing.T) {
+	const capacity = 1 << 20
+	cases := []struct {
+		name    string
+		r       Request
+		wantErr string
+	}{
+		{"ok", Request{OpRead, 0, 4096}, ""},
+		{"ok at end", Request{OpWrite, capacity - 512, 512}, ""},
+		{"zero size", Request{OpRead, 0, 0}, "positive"},
+		{"negative size", Request{OpRead, 0, -512}, "positive"},
+		{"negative offset", Request{OpRead, -512, 512}, "negative offset"},
+		{"unaligned offset", Request{OpRead, 100, 512}, "aligned"},
+		{"unaligned size", Request{OpRead, 0, 100}, "aligned"},
+		{"past end", Request{OpRead, capacity, 512}, "exceeds capacity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.r.Validate(capacity)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Property: any 512-aligned request fully inside capacity validates.
+func TestRequestValidateProperty(t *testing.T) {
+	const capacity = int64(1) << 30
+	f := func(offSectors, sizeSectors uint16) bool {
+		off := int64(offSectors) * 512
+		size := (int64(sizeSectors) + 1) * 512
+		r := Request{OpWrite, off, size}
+		err := r.Validate(capacity)
+		inBounds := off+size <= capacity
+		return (err == nil) == inBounds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatalf("Op strings = %q, %q", OpRead, OpWrite)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if NVMe.String() != "NVMe" || SATA.String() != "SATA" {
+		t.Fatalf("Protocol strings = %q, %q", NVMe, SATA)
+	}
+}

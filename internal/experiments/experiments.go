@@ -1,0 +1,64 @@
+// Package experiments defines one reproducible experiment per table and
+// figure in the paper's evaluation, each regenerating the rows or series
+// the paper reports. cmd/powerbench runs them from the command line and
+// bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Scale bounds each experiment run. Paper scale matches the published
+// methodology (one minute or 4 GiB per point); Quick scale shrinks the
+// bounds so the full suite runs in seconds for tests.
+type Scale struct {
+	Runtime    time.Duration
+	TotalBytes int64
+	Seed       uint64
+}
+
+// Paper is the published methodology's scale.
+var Paper = Scale{Runtime: time.Minute, TotalBytes: 4 << 30, Seed: 42}
+
+// Quick is the test-suite scale.
+var Quick = Scale{Runtime: 2 * time.Second, TotalBytes: 256 << 20, Seed: 42}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s Scale, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Scale, io.Writer) error) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// section prints a figure/table header the way powerbench reports it.
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}

@@ -1,0 +1,199 @@
+// Package hdd implements a mechanical hard-disk simulator: seek and
+// rotational positioning, zoned media transfer, native command queuing
+// (shortest-positioning-time selection), a write-back cache, and the
+// spindle-dominated power model that gives HDDs their narrow active
+// dynamic range and their slow, expensive standby transitions.
+package hdd
+
+import (
+	"fmt"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/power"
+	"wattio/internal/sim"
+)
+
+// Config describes one HDD model. The catalog package provides the
+// configuration calibrated to the paper's Seagate Exos 7E2000.
+type Config struct {
+	Name          string
+	Model         string
+	CapacityBytes int64
+
+	// Mechanics.
+	RPM        int           // spindle speed
+	SeekBase   time.Duration // settle time, any non-zero seek
+	SeekFull   time.Duration // additional time for a full-stroke seek (scaled by sqrt of distance)
+	MediaOuter float64       // MB/s at LBA 0
+	MediaInner float64       // MB/s at the last LBA
+
+	// Host path.
+	LinkMBps float64       // SATA link
+	CmdTime  time.Duration // per-command controller overhead
+
+	// Write-back cache.
+	CacheBytes int64
+
+	// DisableNCQ makes the head serve accesses FIFO instead of by
+	// shortest positioning time. Exists for the ablation benchmarks.
+	DisableNCQ bool
+
+	// Power model (watts).
+	PSpindle  float64 // spinning, heads parked over track
+	PElec     float64 // controller + interface electronics
+	PSeek     float64 // additional while the actuator moves
+	PXfer     float64 // additional while media transfer is active
+	PIfaceAct float64 // additional while the SATA link transfers
+
+	// Standby (spin-down).
+	PStandby  float64       // total power spun down
+	PSpinDown float64       // total power while decelerating
+	PSpinUp   float64       // total power while accelerating
+	TSpinDown time.Duration // deceleration time
+	TSpinUp   time.Duration // acceleration time
+}
+
+// Validate checks the configuration for physical consistency.
+func (c *Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("hdd: config needs a name")
+	case c.CapacityBytes <= 0:
+		return fmt.Errorf("hdd %s: capacity must be positive", c.Name)
+	case c.RPM <= 0:
+		return fmt.Errorf("hdd %s: RPM must be positive", c.Name)
+	case c.MediaOuter <= 0 || c.MediaInner <= 0 || c.MediaInner > c.MediaOuter:
+		return fmt.Errorf("hdd %s: media rates invalid (outer %v, inner %v)", c.Name, c.MediaOuter, c.MediaInner)
+	case c.LinkMBps <= 0:
+		return fmt.Errorf("hdd %s: link bandwidth must be positive", c.Name)
+	case c.CacheBytes < 1<<20:
+		return fmt.Errorf("hdd %s: cache %d must be at least 1 MiB", c.Name, c.CacheBytes)
+	case c.PSpindle <= 0 || c.PElec <= 0:
+		return fmt.Errorf("hdd %s: base powers must be positive", c.Name)
+	case c.TSpinDown <= 0 || c.TSpinUp <= 0:
+		return fmt.Errorf("hdd %s: spin transitions must take time", c.Name)
+	}
+	return nil
+}
+
+// spin is the spindle state machine.
+type spin int
+
+const (
+	spinning spin = iota
+	flushing      // standby requested, draining dirty cache
+	spinningDown
+	spunDown
+	spinningUp
+)
+
+// access is one media access awaiting head time: either a host read or a
+// cache-drain write.
+type access struct {
+	offset int64
+	size   int64
+	read   bool
+	done   func() // read completion (sends data back over the link); nil for drain writes
+}
+
+// HDD is a simulated hard-disk drive. It implements device.Device.
+type HDD struct {
+	cfg Config
+	eng *sim.Engine
+	rng *sim.RNG
+
+	meter    *power.Meter
+	cSpindle power.Component
+	cElec    power.Component
+	cSeek    power.Component
+	cXfer    power.Component
+	cIface   power.Component
+
+	spin       spin
+	headPos    int64 // byte offset proxy for cylinder position
+	headBusy   bool
+	lastEnd    int64 // end offset of the last media access (sequential detection)
+	cmdFreeAt  time.Duration
+	linkFreeAt time.Duration
+
+	queue []access // NCQ: pending media accesses
+
+	dirty      int64 // bytes in write cache awaiting drain
+	cacheWait  []cacheWaiter
+	pendingIOs []pendingIO // IOs arrived while spun down / spinning up
+
+	revolution time.Duration
+}
+
+type cacheWaiter struct {
+	bytes int64
+	cont  func()
+}
+
+type pendingIO struct {
+	r    device.Request
+	done func()
+}
+
+// New constructs an HDD attached to the engine, spinning and idle.
+func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*HDD, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &HDD{
+		cfg:        cfg,
+		eng:        eng,
+		rng:        rng.Stream("hdd/" + cfg.Name),
+		meter:      power.NewMeter(eng.Now()),
+		revolution: time.Duration(60.0 / float64(cfg.RPM) * float64(time.Second)),
+	}
+	d.cSpindle = d.meter.AddComponent("spindle", cfg.PSpindle)
+	d.cElec = d.meter.AddComponent("electronics", cfg.PElec)
+	d.cSeek = d.meter.AddComponent("actuator", 0)
+	d.cXfer = d.meter.AddComponent("media", 0)
+	d.cIface = d.meter.AddComponent("interface", 0)
+	return d, nil
+}
+
+// Name implements device.Device.
+func (d *HDD) Name() string { return d.cfg.Name }
+
+// Model implements device.Device.
+func (d *HDD) Model() string { return d.cfg.Model }
+
+// Protocol implements device.Device.
+func (d *HDD) Protocol() device.Protocol { return device.SATA }
+
+// CapacityBytes implements device.Device.
+func (d *HDD) CapacityBytes() int64 { return d.cfg.CapacityBytes }
+
+// Config returns the device's configuration.
+func (d *HDD) Config() Config { return d.cfg }
+
+// InstantPower implements device.Device.
+func (d *HDD) InstantPower() float64 { return d.meter.Instant(d.eng.Now()) }
+
+// EnergyJ implements device.Device.
+func (d *HDD) EnergyJ() float64 { return d.meter.Energy(d.eng.Now()) }
+
+// PowerStates implements device.Device. HDDs have no NVMe-style
+// operational power states.
+func (d *HDD) PowerStates() []device.PowerState { return nil }
+
+// SetPowerState implements device.Device.
+func (d *HDD) SetPowerState(int) error { return device.ErrNotSupported }
+
+// PowerStateIndex implements device.Device.
+func (d *HDD) PowerStateIndex() int { return 0 }
+
+// Standby implements device.Device.
+func (d *HDD) Standby() bool {
+	return d.spin == flushing || d.spin == spinningDown || d.spin == spunDown
+}
+
+// Settled implements device.Device.
+func (d *HDD) Settled() bool { return d.spin == spinning || d.spin == spunDown }
+
+// DirtyBytes returns bytes in the write cache not yet on media.
+func (d *HDD) DirtyBytes() int64 { return d.dirty }

@@ -1,0 +1,181 @@
+// Package plot renders the study's figures as ASCII charts so
+// powerbench can draw what the paper plots — line series over chunk
+// size or queue depth, scatter plots of normalized power-throughput
+// models, and millisecond power traces — directly in a terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// markers label up to eight series on one chart.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart is an ASCII canvas with data-space axes. Add series with Line
+// or Scatter, then Render.
+type Chart struct {
+	width, height          int
+	title, xlabel, ylabel  string
+	logX                   bool
+	series                 []series
+	xmin, xmax, ymin, ymax float64
+	fixed                  bool
+}
+
+type series struct {
+	label  string
+	xs, ys []float64
+	line   bool
+}
+
+// New returns a chart with the given interior canvas size.
+func New(title string, width, height int) *Chart {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Chart{
+		width: width, height: height, title: title,
+		xmin: math.Inf(1), xmax: math.Inf(-1),
+		ymin: math.Inf(1), ymax: math.Inf(-1),
+	}
+}
+
+// Axes sets the axis labels.
+func (c *Chart) Axes(xlabel, ylabel string) *Chart {
+	c.xlabel, c.ylabel = xlabel, ylabel
+	return c
+}
+
+// LogX plots the x axis in log2 space — natural for the paper's chunk
+// and depth sweeps, which are powers of two.
+func (c *Chart) LogX() *Chart {
+	c.logX = true
+	return c
+}
+
+// Bounds fixes the data-space window; otherwise it fits the series.
+func (c *Chart) Bounds(xmin, xmax, ymin, ymax float64) *Chart {
+	c.xmin, c.xmax, c.ymin, c.ymax = xmin, xmax, ymin, ymax
+	c.fixed = true
+	return c
+}
+
+// Line adds a connected series.
+func (c *Chart) Line(label string, xs, ys []float64) error { return c.add(label, xs, ys, true) }
+
+// Scatter adds an unconnected point series.
+func (c *Chart) Scatter(label string, xs, ys []float64) error { return c.add(label, xs, ys, false) }
+
+func (c *Chart) add(label string, xs, ys []float64, line bool) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("plot: series %q: %d xs vs %d ys", label, len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("plot: empty series %q", label)
+	}
+	c.series = append(c.series, series{label, xs, ys, line})
+	return nil
+}
+
+func (c *Chart) tx(x float64) float64 {
+	if c.logX {
+		return math.Log2(x)
+	}
+	return x
+}
+
+// Render draws the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.title)
+	}
+	xmin, xmax, ymin, ymax := c.xmin, c.xmax, c.ymin, c.ymax
+	if !c.fixed {
+		for _, s := range c.series {
+			for i := range s.xs {
+				xmin, xmax = math.Min(xmin, c.tx(s.xs[i])), math.Max(xmax, c.tx(s.xs[i]))
+				ymin, ymax = math.Min(ymin, s.ys[i]), math.Max(ymax, s.ys[i])
+			}
+		}
+	} else if c.logX {
+		xmin, xmax = c.tx(xmin), c.tx(xmax)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	padX := (xmax - xmin) * 0.02
+	padY := (ymax - ymin) * 0.05
+	xmin, xmax, ymin, ymax = xmin-padX, xmax+padX, ymin-padY, ymax+padY
+
+	cells := make([][]byte, c.height)
+	for i := range cells {
+		cells[i] = []byte(strings.Repeat(" ", c.width))
+	}
+	plotPoint := func(x, y float64, m byte) {
+		j := int((x - xmin) / (xmax - xmin) * float64(c.width-1))
+		i := c.height - 1 - int((y-ymin)/(ymax-ymin)*float64(c.height-1))
+		if i >= 0 && i < c.height && j >= 0 && j < c.width {
+			cells[i][j] = m
+		}
+	}
+	var legend []string
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		legend = append(legend, fmt.Sprintf("%c %s", m, s.label))
+		for i := range s.xs {
+			plotPoint(c.tx(s.xs[i]), s.ys[i], m)
+			if s.line && i > 0 {
+				x0, x1 := c.tx(s.xs[i-1]), c.tx(s.xs[i])
+				for k := 1; k < c.width; k++ {
+					f := float64(k) / float64(c.width)
+					plotPoint(x0+f*(x1-x0), s.ys[i-1]+f*(s.ys[i]-s.ys[i-1]), m)
+				}
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", c.title); err != nil {
+		return err
+	}
+	for i, line := range cells {
+		label := strings.Repeat(" ", 10)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", ymax)
+		case c.height - 1:
+			label = fmt.Sprintf("%9.3g ", ymin)
+		case c.height / 2:
+			label = fmt.Sprintf("%9.3g ", (ymin+ymax)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	xl, xr := xmin, xmax
+	if c.logX {
+		xl, xr = math.Pow(2, xmin), math.Pow(2, xmax)
+	}
+	pad := c.width - 10
+	if pad < 0 {
+		pad = 0
+	}
+	if _, err := fmt.Fprintf(w, "%10s %-10.4g%s%10.4g\n", " ", xl, strings.Repeat(" ", pad), xr); err != nil {
+		return err
+	}
+	if c.xlabel != "" || c.ylabel != "" {
+		if _, err := fmt.Fprintf(w, "%10s x: %s, y: %s\n", " ", c.xlabel, c.ylabel); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%10s %s\n", " ", strings.Join(legend, "   "))
+	return err
+}

@@ -1,0 +1,123 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartRenders(t *testing.T) {
+	c := New("test chart", 40, 10).Axes("chunk", "watts")
+	if err := c.Line("ps0", []float64{4, 16, 64, 256}, []float64{6, 8, 10, 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Line("ps2", []float64{4, 16, 64, 256}, []float64{6, 7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"test chart", "* ps0", "o ps2", "x: chunk, y: watts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 12 {
+		t.Errorf("only %d lines rendered", lines)
+	}
+}
+
+func TestScatterMarksWithinFrame(t *testing.T) {
+	c := New("scatter", 30, 8)
+	if err := c.Scatter("pts", []float64{0, 0.5, 1}, []float64{0, 0.5, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	marks := 0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(line, "|") {
+			marks += strings.Count(line, "*")
+		}
+	}
+	if marks != 3 {
+		t.Errorf("want exactly 3 scatter marks in frame, got %d:\n%s", marks, sb.String())
+	}
+}
+
+func TestLogXMonotone(t *testing.T) {
+	// In log-x, equal multiplicative steps land equidistant: columns of
+	// marks for 4, 16, 64, 256 should be evenly spaced.
+	c := New("logx", 61, 5).LogX()
+	if err := c.Scatter("pts", []float64{4, 16, 64, 256}, []float64{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var cols []int
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		for i, ch := range line {
+			if ch == '*' {
+				cols = append(cols, i)
+			}
+		}
+	}
+	if len(cols) != 4 {
+		t.Fatalf("found %d marks, want 4:\n%s", len(cols), sb.String())
+	}
+	d1, d2, d3 := cols[1]-cols[0], cols[2]-cols[1], cols[3]-cols[2]
+	if abs(d1-d2) > 1 || abs(d2-d3) > 1 {
+		t.Errorf("log-x spacing uneven: %v", cols)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	c := New("empty", 30, 8)
+	var sb strings.Builder
+	if err := c.Render(&sb); err == nil {
+		t.Error("rendering empty chart succeeded")
+	}
+	if err := c.Line("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	if err := c.Line("empty", nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestDegenerateRangeHandled(t *testing.T) {
+	c := New("flat", 30, 8)
+	if err := c.Line("flat", []float64{1, 1, 1}, []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyCanvasClamped(t *testing.T) {
+	c := New("tiny", 1, 1)
+	if err := c.Line("x", []float64{1, 2}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,87 @@
+// Package power models how a storage device's electrical draw is composed
+// and constrained: a Meter sums named component contributions (controller,
+// interface, dies, spindle, …) into the instantaneous power a shunt
+// resistor would see, and a Regulator enforces an NVMe-style cap on
+// average power over a rolling window by making operations wait for
+// energy credits.
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// Component identifies one electrical contributor inside a device.
+type Component int
+
+// Meter tracks the instantaneous power of a device as the sum of its
+// component draws, and integrates total energy over virtual time.
+//
+// Devices call Set whenever a component changes state (a die starts a
+// program op, the interface drops to SLUMBER, …). The measurement rig
+// reads Instant; experiment reports read Energy.
+type Meter struct {
+	watts  []float64
+	names  []string
+	total  float64
+	energy float64 // joules accumulated up to last
+	last   time.Duration
+}
+
+// NewMeter returns an empty meter with the clock at t0.
+func NewMeter(t0 time.Duration) *Meter {
+	return &Meter{last: t0}
+}
+
+// AddComponent registers a named component with an initial draw of w
+// watts and returns its handle.
+func (m *Meter) AddComponent(name string, w float64) Component {
+	m.names = append(m.names, name)
+	m.watts = append(m.watts, w)
+	m.total += w
+	return Component(len(m.watts) - 1)
+}
+
+// Set updates component c to draw w watts as of virtual time now.
+// Energy is integrated at the previous rate up to now first, so ordering
+// of co-timed updates does not change the integral.
+func (m *Meter) Set(c Component, w float64, now time.Duration) {
+	m.integrate(now)
+	m.total += w - m.watts[c]
+	m.watts[c] = w
+}
+
+// Get returns the current draw of component c in watts.
+func (m *Meter) Get(c Component) float64 { return m.watts[c] }
+
+// Name returns the registered name of component c.
+func (m *Meter) Name(c Component) string { return m.names[c] }
+
+// Instant returns the instantaneous total power in watts at time now,
+// integrating energy up to now as a side effect.
+func (m *Meter) Instant(now time.Duration) float64 {
+	m.integrate(now)
+	return m.total
+}
+
+// Energy returns the total energy in joules consumed up to now.
+func (m *Meter) Energy(now time.Duration) float64 {
+	m.integrate(now)
+	return m.energy
+}
+
+func (m *Meter) integrate(now time.Duration) {
+	if now < m.last {
+		panic(fmt.Sprintf("power: meter time went backward: %v < %v", now, m.last))
+	}
+	m.energy += m.total * (now - m.last).Seconds()
+	m.last = now
+}
+
+// Breakdown returns a copy of the per-component draws, index-aligned with
+// the handles returned by AddComponent.
+func (m *Meter) Breakdown() []float64 {
+	out := make([]float64, len(m.watts))
+	copy(out, m.watts)
+	return out
+}

@@ -1,0 +1,264 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeterSumsComponents(t *testing.T) {
+	m := NewMeter(0)
+	a := m.AddComponent("controller", 2)
+	b := m.AddComponent("die0", 0)
+	if got := m.Instant(0); got != 2 {
+		t.Fatalf("Instant = %v, want 2", got)
+	}
+	m.Set(b, 0.3, 0)
+	if got := m.Instant(0); math.Abs(got-2.3) > 1e-12 {
+		t.Fatalf("Instant = %v, want 2.3", got)
+	}
+	m.Set(a, 1, 0)
+	if got := m.Instant(0); math.Abs(got-1.3) > 1e-12 {
+		t.Fatalf("Instant = %v, want 1.3", got)
+	}
+}
+
+func TestMeterEnergyIntegration(t *testing.T) {
+	m := NewMeter(0)
+	c := m.AddComponent("x", 10) // 10 W
+	if got := m.Energy(2 * time.Second); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("Energy after 2s at 10W = %v, want 20 J", got)
+	}
+	m.Set(c, 5, 2*time.Second)
+	if got := m.Energy(4 * time.Second); math.Abs(got-30) > 1e-9 {
+		t.Fatalf("Energy = %v, want 30 J (20 + 5W×2s)", got)
+	}
+}
+
+func TestMeterCoTimedUpdatesOrderIndependent(t *testing.T) {
+	// Two updates at the same instant must charge the old rates up to
+	// that instant regardless of update order.
+	mk := func(order []int) float64 {
+		m := NewMeter(0)
+		cs := []Component{m.AddComponent("a", 1), m.AddComponent("b", 2)}
+		for _, i := range order {
+			m.Set(cs[i], 10, time.Second)
+		}
+		return m.Energy(time.Second)
+	}
+	if e1, e2 := mk([]int{0, 1}), mk([]int{1, 0}); math.Abs(e1-e2) > 1e-12 {
+		t.Fatalf("energy depends on co-timed update order: %v vs %v", e1, e2)
+	}
+}
+
+func TestMeterTimeBackwardPanics(t *testing.T) {
+	m := NewMeter(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on backward time")
+		}
+	}()
+	m.Instant(0)
+}
+
+func TestMeterBreakdownAndNames(t *testing.T) {
+	m := NewMeter(0)
+	a := m.AddComponent("ctrl", 1.5)
+	m.AddComponent("iface", 0.5)
+	bd := m.Breakdown()
+	if len(bd) != 2 || bd[0] != 1.5 || bd[1] != 0.5 {
+		t.Fatalf("Breakdown = %v", bd)
+	}
+	if m.Name(a) != "ctrl" {
+		t.Fatalf("Name = %q, want ctrl", m.Name(a))
+	}
+	if m.Get(a) != 1.5 {
+		t.Fatalf("Get = %v, want 1.5", m.Get(a))
+	}
+	bd[0] = 99
+	if m.Get(a) == 99 {
+		t.Fatal("Breakdown aliases internal state")
+	}
+}
+
+func TestUncappedAdmitsImmediately(t *testing.T) {
+	r := Uncapped()
+	if r.Capped() {
+		t.Fatal("Uncapped().Capped() = true")
+	}
+	if d := r.Admit(0, 1e9); d != 0 {
+		t.Fatalf("uncapped delay = %v, want 0", d)
+	}
+}
+
+func TestRegulatorBurstThenThrottle(t *testing.T) {
+	// 5 W sustained, 10 s window → 50 J burst.
+	r := NewRegulator(5, 10*time.Second, 0)
+	if d := r.Admit(0, 50); d != 0 {
+		t.Fatalf("burst admit delayed %v, want 0", d)
+	}
+	// Bucket empty: a 10 J op must wait 2 s at 5 W.
+	if d := r.Admit(0, 10); d != 2*time.Second {
+		t.Fatalf("throttled delay = %v, want 2s", d)
+	}
+}
+
+func TestRegulatorRefills(t *testing.T) {
+	r := NewRegulator(5, 10*time.Second, 0)
+	r.Admit(0, 50) // drain
+	// After 4 s, 20 J accrued.
+	if got := r.Credits(4 * time.Second); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("credits = %v, want 20", got)
+	}
+	if d := r.Admit(4*time.Second, 20); d != 0 {
+		t.Fatalf("delay = %v, want 0", d)
+	}
+}
+
+func TestRegulatorBurstCapped(t *testing.T) {
+	r := NewRegulator(5, 10*time.Second, 0)
+	// A century idle must not accumulate more than one window of burst.
+	if got := r.Credits(100 * 365 * 24 * time.Hour); got > 50+1e-9 {
+		t.Fatalf("credits = %v, want ≤ 50", got)
+	}
+}
+
+func TestRegulatorZeroHeadroom(t *testing.T) {
+	r := NewRegulator(0, 10*time.Second, 0)
+	d := r.Admit(0, 1)
+	if d <= 0 {
+		t.Fatalf("zero-headroom regulator admitted immediately")
+	}
+	// Must not deadlock: delay is finite and further admits still work.
+	d2 := r.Admit(d, 1)
+	if d2 <= 0 {
+		t.Fatal("second admit at zero headroom returned no delay")
+	}
+}
+
+func TestRegulatorNegativeEnergyPanics(t *testing.T) {
+	r := NewRegulator(5, time.Second, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	r.Admit(0, -1)
+}
+
+// Property: over any sequence of admissions executed at their granted
+// times, long-run average admitted power never exceeds the sustained rate
+// plus the burst allowance.
+func TestRegulatorRateProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const rate = 8.0
+		window := 2 * time.Second
+		r := NewRegulator(rate, window, 0)
+		now := time.Duration(0)
+		var spent float64
+		for _, o := range ops {
+			j := float64(o%32) + 1
+			d := r.Admit(now, j)
+			now += d
+			spent += j
+		}
+		if now == 0 {
+			return spent <= rate*window.Seconds()+1e-6
+		}
+		avg := spent / now.Seconds()
+		// average ≤ rate + burst amortized over elapsed time
+		return avg <= rate+rate*window.Seconds()/now.Seconds()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollingAverageConstantPower(t *testing.T) {
+	a := NewRollingAverage(10 * time.Second)
+	for i := 0; i <= 20; i++ {
+		ts := time.Duration(i) * time.Second
+		a.Record(ts, 7*ts.Seconds()) // 7 W constant
+	}
+	if got := a.Average(); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("Average = %v, want 7", got)
+	}
+}
+
+func TestRollingAverageWindowing(t *testing.T) {
+	// 0 W for 10 s, then 10 W for 10 s. A 10 s window at t=20 sees only
+	// the 10 W segment.
+	a := NewRollingAverage(10 * time.Second)
+	a.Record(0, 0)
+	a.Record(10*time.Second, 0)
+	a.Record(20*time.Second, 100)
+	if got := a.Average(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Average = %v, want 10", got)
+	}
+}
+
+func TestRollingAveragePartialWindow(t *testing.T) {
+	a := NewRollingAverage(10 * time.Second)
+	a.Record(0, 0)
+	a.Record(2*time.Second, 6) // 3 W over the only 2 s we have
+	if got := a.Average(); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("Average = %v, want 3", got)
+	}
+}
+
+func TestRollingAverageInterpolatesBoundary(t *testing.T) {
+	// Checkpoints at 0 and 20 s, window 10 s: boundary at t=10 must be
+	// interpolated inside the single long segment (5 W constant).
+	a := NewRollingAverage(10 * time.Second)
+	a.Record(0, 0)
+	a.Record(20*time.Second, 100)
+	if got := a.Average(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Average = %v, want 5", got)
+	}
+}
+
+func TestRollingAverageEmpty(t *testing.T) {
+	a := NewRollingAverage(time.Second)
+	if got := a.Average(); got != 0 {
+		t.Fatalf("Average of empty = %v, want 0", got)
+	}
+	a.Record(0, 5)
+	if got := a.Average(); got != 0 {
+		t.Fatalf("Average of single point = %v, want 0", got)
+	}
+}
+
+func TestRollingAverageBackwardTimePanics(t *testing.T) {
+	a := NewRollingAverage(time.Second)
+	a.Record(time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a.Record(0, 0)
+}
+
+func TestRegulatorMatchesRollingAverageUnderLoad(t *testing.T) {
+	// Drive a saturated consumer through the regulator and verify the
+	// rolling-average power it achieves settles at the sustained rate.
+	const rate = 6.0
+	window := time.Second
+	r := NewRegulator(rate, window, 0)
+	avg := NewRollingAverage(10 * time.Second)
+	now := time.Duration(0)
+	var energy float64
+	avg.Record(0, 0)
+	for i := 0; i < 10000; i++ {
+		const opJ = 0.05
+		d := r.Admit(now, opJ)
+		now += d
+		energy += opJ
+		avg.Record(now, energy)
+	}
+	got := avg.Average()
+	if math.Abs(got-rate) > 0.5 {
+		t.Fatalf("sustained average = %.3f W, want ≈ %.1f W", got, rate)
+	}
+}

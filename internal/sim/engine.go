@@ -1,0 +1,169 @@
+// Package sim provides the discrete-event simulation kernel that drives
+// every experiment in wattio: a virtual nanosecond clock, an event queue,
+// and deterministic random number streams.
+//
+// Nothing in the simulator reads wall-clock time. A sixty-second power
+// measurement runs in milliseconds of host time and is bit-for-bit
+// reproducible given the same seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event scheduler over virtual time.
+//
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which keeps co-timed device and sampler events deterministic.
+// Engine is not safe for concurrent use; the simulation is single-threaded
+// by design so that results are reproducible.
+type Engine struct {
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+}
+
+// NewEngine returns an Engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Timer is a handle to a scheduled event. A Timer may be stopped before it
+// fires; stopping an already-fired or already-stopped timer is a no-op.
+type Timer struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 once fired or stopped
+	stopped bool
+}
+
+// At returns the virtual time the timer is (or was) scheduled to fire.
+func (t *Timer) At() time.Duration { return t.at }
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil func")
+	}
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, t)
+	return t
+}
+
+// After runs fn when d has elapsed from the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports whether an event fired (false when the queue is drained).
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		t := heap.Pop(&e.pq).(*Timer)
+		if t.stopped {
+			continue
+		}
+		e.now = t.at
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ deadline, then advances the clock to
+// the deadline. Events scheduled beyond the deadline remain pending.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for {
+		t := e.peek()
+		if t == nil || t.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of events still queued (including events at
+// the current instant, excluding stopped timers).
+func (e *Engine) Pending() int {
+	n := 0
+	for _, t := range e.pq {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) peek() *Timer {
+	for len(e.pq) > 0 {
+		t := e.pq[0]
+		if t.stopped {
+			heap.Pop(&e.pq)
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// eventHeap orders timers by (time, sequence).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

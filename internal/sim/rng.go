@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random source. Experiments derive one named
+// stream per consumer (measurement noise, workload offsets, seek
+// distances, …) so that adding a consumer never perturbs the draws seen
+// by existing ones.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a root stream for the given seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed, splitmix64(seed)))}
+}
+
+// Stream derives an independent child stream keyed by name. The same
+// (seed, name) pair always yields the same sequence.
+func (g *RNG) Stream(name string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	k := h.Sum64()
+	a := g.r.Uint64() // fold in parent position once, at derivation time
+	return &RNG{r: rand.New(rand.NewPCG(a^k, splitmix64(k)))}
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uint64 returns a uniform 64-bit draw.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Int64N returns a uniform draw in [0, n). It panics if n <= 0.
+func (g *RNG) Int64N(n int64) int64 { return g.r.Int64N(n) }
+
+// IntN returns a uniform draw in [0, n). It panics if n <= 0.
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// NormFloat64 returns a standard normal draw.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Gaussian returns a normal draw with the given mean and standard
+// deviation.
+func (g *RNG) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Exponential returns an exponential draw with the given mean.
+func (g *RNG) Exponential(mean float64) float64 {
+	u := g.r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// splitmix64 is the standard splitmix64 finalizer, used to expand one
+// 64-bit seed into a second PCG word.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,96 @@
+package ssd
+
+import (
+	"wattio/internal/device"
+)
+
+// Autonomous power state transitions (APST): when enabled and the
+// device has fully quiesced (no inflight IO, empty write buffer), an
+// idle timer walks it down the configured non-operational states; the
+// next command pays the state's exit latency. This file owns that state
+// machine; the hooks are armAPST (at every quiesce point) and
+// exitNonOp (at Submit).
+
+// SetAPST enables or disables autonomous transitions, as the NVMe APST
+// feature (FID 0x0C) does. Disabling while in a non-operational state
+// wakes the device.
+func (d *SSD) SetAPST(enable bool) error {
+	if len(d.cfg.NonOpStates) == 0 {
+		return device.ErrNotSupported
+	}
+	d.apstEnabled = enable
+	if !enable {
+		d.exitNonOp()
+		d.stopAPSTTimer()
+	} else {
+		d.armAPST()
+	}
+	return nil
+}
+
+// APST reports whether autonomous transitions are enabled.
+func (d *SSD) APST() bool { return d.apstEnabled }
+
+// NonOpIndex returns the current non-operational state, or -1 when the
+// device is operational.
+func (d *SSD) NonOpIndex() int { return d.nonOpIndex }
+
+// armAPST (re)schedules the next autonomous transition if the device is
+// idle. Called at every point the device may have just quiesced.
+func (d *SSD) armAPST() {
+	if !d.apstEnabled || d.mode != awake || d.active() {
+		return
+	}
+	next := d.nonOpIndex + 1
+	if next >= len(d.cfg.NonOpStates) {
+		return
+	}
+	if d.apstTimer != nil {
+		return // already armed
+	}
+	// The idle clock starts now; deeper states are relative to the
+	// same quiesce instant, so the increment is the threshold delta.
+	wait := d.cfg.NonOpStates[next].IdleBefore
+	if next > 0 {
+		wait -= d.cfg.NonOpStates[next-1].IdleBefore
+	}
+	d.apstTimer = d.eng.After(wait, func() {
+		d.apstTimer = nil
+		if !d.apstEnabled || d.mode != awake || d.active() {
+			return
+		}
+		d.enterNonOp(d.nonOpIndex + 1)
+		d.armAPST() // chain toward deeper states
+	})
+}
+
+func (d *SSD) stopAPSTTimer() {
+	if d.apstTimer != nil {
+		d.apstTimer.Stop()
+		d.apstTimer = nil
+	}
+}
+
+// enterNonOp drops the device into non-operational state i.
+func (d *SSD) enterNonOp(i int) {
+	now := d.eng.Now()
+	d.nonOpIndex = i
+	d.meter.Set(d.cCtrl, d.cfg.NonOpStates[i].PowerW, now)
+	d.meter.Set(d.cIface, 0, now)
+}
+
+// exitNonOp restores operational power and charges the exit latency to
+// the next admissions. Safe to call when already operational.
+func (d *SSD) exitNonOp() {
+	if d.nonOpIndex < 0 {
+		return
+	}
+	now := d.eng.Now()
+	st := d.cfg.NonOpStates[d.nonOpIndex]
+	d.nonOpIndex = -1
+	d.meter.Set(d.cCtrl, d.cfg.PController, now)
+	d.meter.Set(d.cIface, d.cfg.PIfaceIdle, now)
+	if ready := now + st.ExitLatency; ready > d.stateReadyAt {
+		d.stateReadyAt = ready
+	}
+}

@@ -1,0 +1,289 @@
+package ssd
+
+import (
+	"time"
+
+	"wattio/internal/device"
+)
+
+// occupy reserves a serialized resource whose availability horizon is
+// *freeAt: the reservation starts when both the caller and the resource
+// are ready and extends the horizon by dur.
+func occupy(freeAt *time.Duration, now, dur time.Duration) (start, end time.Duration) {
+	start = max(now, *freeAt)
+	end = start + dur
+	*freeAt = end
+	return start, end
+}
+
+// linkTime returns the host-link occupancy for n bytes.
+func (d *SSD) linkTime(n int64) time.Duration {
+	return time.Duration(float64(n) / (d.cfg.LinkMBps * 1e6) * float64(time.Second))
+}
+
+// linkEnergyJ returns the extra interface energy for transferring n bytes.
+func (d *SSD) linkEnergyJ(n int64) float64 {
+	return (d.cfg.PIfaceActive - d.cfg.PIfaceIdle) * d.linkTime(n).Seconds()
+}
+
+// admit reserves regulated energy and returns the virtual time the
+// operation may start, applying the firmware throttle quantum: delayed
+// operations are released on quantum boundaries, which is what turns
+// smooth energy debt into measurable tail-latency spikes.
+func (d *SSD) admit(energy float64) time.Duration {
+	now := d.eng.Now()
+	delay := d.reg.Admit(now, energy)
+	ready := now + delay
+	if delay > 0 && d.cfg.ThrottleQuantum > 0 {
+		q := d.cfg.ThrottleQuantum
+		ready = (ready + q - 1) / q * q
+	}
+	return max(ready, d.stateReadyAt)
+}
+
+// begin runs a request through the controller command stage, then hands
+// it to the read or write path. It must run with the device awake.
+func (d *SSD) begin(r device.Request, done func()) {
+	d.inflight++
+	d.ensureRipple()
+
+	// Sequentiality is a property of submission order; record it now.
+	sequential := true
+	if r.Op == device.OpWrite {
+		sequential = r.Offset == d.lastWriteEnd
+		d.lastWriteEnd = r.Offset + r.Size
+	}
+
+	ct, eCmd := d.cfg.CmdTimeRead, d.cfg.ECmdReadJ
+	if r.Op == device.OpWrite {
+		ct, eCmd = d.cfg.CmdTimeWrite, d.cfg.ECmdWriteJ
+	}
+	start, end := occupy(&d.cmdFreeAt, d.eng.Now(), ct)
+	pulseW := 0.0
+	if ct > 0 {
+		pulseW = eCmd / ct.Seconds()
+	}
+	d.eng.Schedule(start, func() { d.meter.Set(d.cCmd, pulseW, d.eng.Now()) })
+	d.eng.Schedule(end, func() {
+		d.meter.Set(d.cCmd, 0, d.eng.Now())
+		// Admit the host-path energy (command + link transfer) against
+		// the power-state regulator before moving data.
+		ready := d.admit(eCmd + d.linkEnergyJ(r.Size))
+		d.eng.Schedule(ready, func() {
+			if r.Op == device.OpWrite {
+				d.writePath(r, sequential, done)
+			} else {
+				d.readPath(r, done)
+			}
+		})
+	})
+}
+
+// writePath: reserve write-buffer space (backpressure lives here), move
+// the data over the host link, then acknowledge after the DRAM insert
+// AND after the write's NAND energy has been admitted by the power-state
+// regulator. The admission at the ack point is firmware admission
+// control: under a binding cap the device cannot let the buffer absorb
+// energy it would have to pay back inside the same averaging window, so
+// power debt surfaces as host-visible write latency — the mechanism
+// behind the paper's Fig. 5 latency inflation.
+func (d *SSD) writePath(r device.Request, sequential bool, done func()) {
+	d.reserveBuffer(r.Size, func() {
+		xferStart, xferEnd := occupy(&d.linkFreeAt, d.eng.Now(), d.linkTime(r.Size))
+		d.eng.Schedule(xferStart, func() { d.meter.Set(d.cIface, d.cfg.PIfaceActive, d.eng.Now()) })
+		d.eng.Schedule(xferEnd, func() {
+			d.meter.Set(d.cIface, d.cfg.PIfaceIdle, d.eng.Now())
+			insert := d.cfg.TWriteAck + time.Duration(float64(r.Size)/(d.cfg.InsertBWMBps*1e6)*float64(time.Second))
+			d.eng.After(insert, func() {
+				// The FTL coalesces writes into open pages, so NAND
+				// work is proportional to bytes, not request count:
+				// sub-page writes share page programs.
+				nandBytes := float64(r.Size)
+				if !sequential && d.cfg.WriteAmp > 1 {
+					nandBytes *= d.cfg.WriteAmp
+				}
+				energy := d.eProg * nandBytes / float64(d.cfg.PageSize)
+				ready := d.admit(energy)
+				d.eng.Schedule(ready, func() {
+					d.inflight--
+					done()
+					d.spawnPrograms(r.Size, int64(nandBytes)-r.Size)
+				})
+			})
+		})
+	})
+}
+
+// spawnPrograms accumulates acknowledged bytes into the device's open
+// pages and issues a NAND program for every full page. Host bytes free
+// write-buffer space when their page lands; write-amplification bytes
+// are internal work and free nothing.
+func (d *SSD) spawnPrograms(hostBytes, ampBytes int64) {
+	d.hostPending += hostBytes
+	d.ampPending += ampBytes
+	for d.hostPending >= d.cfg.PageSize {
+		d.hostPending -= d.cfg.PageSize
+		d.programPage(d.cfg.PageSize)
+	}
+	for d.ampPending >= d.cfg.PageSize {
+		d.ampPending -= d.cfg.PageSize
+		d.programPage(0)
+	}
+	// (Re)arm the open-page flush: if no further writes arrive, the
+	// partial pages program after a short dwell, as real FTLs flush on
+	// idle so buffered data reaches durable media.
+	if d.flushTimer != nil {
+		d.flushTimer.Stop()
+		d.flushTimer = nil
+	}
+	if d.hostPending > 0 || d.ampPending > 0 {
+		d.flushTimer = d.eng.After(10*time.Millisecond, func() {
+			d.flushTimer = nil
+			if d.hostPending > 0 {
+				d.programPage(d.hostPending)
+				d.hostPending = 0
+			}
+			if d.ampPending > 0 {
+				d.programPage(0)
+				d.ampPending = 0
+			}
+		})
+	}
+}
+
+// programPage schedules one NAND program on the next die in the
+// log-structured write stripe, releasing `release` buffer bytes when the
+// page is durable. Its energy was admitted at the ack point.
+func (d *SSD) programPage(release int64) {
+	die := d.nextDie
+	d.nextDie = (d.nextDie + 1) % len(d.cDies)
+	ready := max(d.eng.Now(), d.stateReadyAt)
+	start := max(ready, d.dieFreeAt[die])
+	end := start + d.cfg.TProg + d.pageXfer
+	d.dieFreeAt[die] = end
+	c := d.cDies[die]
+	d.eng.Schedule(start, func() { d.meter.Set(c, d.pProgEff, d.eng.Now()) })
+	d.eng.Schedule(end, func() {
+		d.meter.Set(c, 0, d.eng.Now())
+		if release > 0 {
+			d.releaseBuffer(release)
+		}
+		d.armAPST()
+	})
+}
+
+// readPath fans page reads out across the dies the request's pages map
+// to, then returns the data over the host link in one transfer.
+func (d *SSD) readPath(r device.Request, done func()) {
+	firstPage := r.Offset / d.cfg.PageSize
+	lastPage := (r.Offset + r.Size - 1) / d.cfg.PageSize
+	remaining := int(lastPage - firstPage + 1)
+	opDur := d.cfg.TRead + d.pageXfer
+	finish := func() {
+		xferStart, xferEnd := occupy(&d.linkFreeAt, d.eng.Now(), d.linkTime(r.Size))
+		d.eng.Schedule(xferStart, func() { d.meter.Set(d.cIface, d.cfg.PIfaceActive, d.eng.Now()) })
+		d.eng.Schedule(xferEnd, func() {
+			d.meter.Set(d.cIface, d.cfg.PIfaceIdle, d.eng.Now())
+			d.inflight--
+			done()
+			d.armAPST()
+		})
+	}
+	for p := firstPage; p <= lastPage; p++ {
+		die := int(p % int64(len(d.cDies)))
+		ready := d.admit(d.eRead)
+		start := max(ready, d.dieFreeAt[die])
+		end := start + opDur
+		d.dieFreeAt[die] = end
+		c := d.cDies[die]
+		d.eng.Schedule(start, func() { d.meter.Set(c, d.pReadEff, d.eng.Now()) })
+		d.eng.Schedule(end, func() {
+			d.meter.Set(c, 0, d.eng.Now())
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+}
+
+// reserveBuffer grants `bytes` of write-buffer space to cont, queuing
+// FIFO behind earlier waiters when the buffer is full. FIFO ordering
+// (not best-fit) keeps completion latency fair, which matters for the
+// tail-latency experiments.
+func (d *SSD) reserveBuffer(bytes int64, cont func()) {
+	if len(d.bufWaiters) == 0 && d.bufFree >= bytes {
+		d.bufFree -= bytes
+		cont()
+		return
+	}
+	d.bufWaiters = append(d.bufWaiters, bufWaiter{bytes, cont})
+}
+
+// releaseBuffer returns bytes to the buffer and admits waiting writes.
+func (d *SSD) releaseBuffer(bytes int64) {
+	d.bufFree += bytes
+	if d.bufFree > d.cfg.BufferBytes {
+		panic("ssd: buffer over-released")
+	}
+	for len(d.bufWaiters) > 0 && d.bufFree >= d.bufWaiters[0].bytes {
+		w := d.bufWaiters[0]
+		d.bufWaiters = d.bufWaiters[1:]
+		d.bufFree -= w.bytes
+		w.cont()
+	}
+}
+
+// bufUsedBytes returns bytes currently held in the write buffer.
+func (d *SSD) bufUsedBytes() int64 { return d.cfg.BufferBytes - d.bufFree }
+
+// active reports whether the device has foreground or background work,
+// which is when the FTL activity ripple runs.
+func (d *SSD) active() bool { return d.inflight > 0 || d.bufUsedBytes() > 0 }
+
+// ensureRipple starts the activity-ripple process if it is configured
+// and not already ticking.
+func (d *SSD) ensureRipple() {
+	if d.cfg.RippleBurstW <= 0 || d.rippleRunning {
+		return
+	}
+	d.rippleRunning = true
+	d.rippleTick()
+}
+
+// rippleTick advances the two-state burst process. Transition
+// probabilities are chosen so the long-run burst fraction equals the
+// configured duty cycle: leaving with probability ½ per tick and
+// entering with duty/(2(1-duty)).
+func (d *SSD) rippleTick() {
+	if !d.active() {
+		d.rippleRunning = false
+		if d.rippleBurst {
+			d.rippleBurst = false
+			d.meter.Set(d.cRipple, 0, d.eng.Now())
+		}
+		return
+	}
+	const pLeave = 0.5
+	pEnter := pLeave * d.cfg.RippleDuty / (1 - d.cfg.RippleDuty)
+	u := d.rng.Float64()
+	if d.rippleBurst {
+		if u < pLeave {
+			d.rippleBurst = false
+			d.meter.Set(d.cRipple, 0, d.eng.Now())
+		}
+	} else if u < pEnter && d.reg.Credits(d.eng.Now()) >= 0 {
+		// Background bursts defer while the device is in energy debt:
+		// capped firmware schedules GC and mapping flushes into the
+		// power budget's slack.
+		d.rippleBurst = true
+		d.meter.Set(d.cRipple, d.cfg.RippleBurstW, d.eng.Now())
+	}
+	dwell := time.Duration(d.rng.Exponential(float64(d.cfg.RippleDwell)))
+	if dwell < time.Millisecond {
+		dwell = time.Millisecond
+	}
+	d.eng.After(dwell, d.rippleTick)
+}
+
+var _ device.Device = (*SSD)(nil)

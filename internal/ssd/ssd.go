@@ -1,0 +1,301 @@
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/power"
+	"wattio/internal/sim"
+)
+
+// mode is the device's standby state machine.
+type mode int
+
+const (
+	awake mode = iota
+	entering
+	standby
+	waking
+)
+
+// SSD is a simulated solid-state drive. It implements device.Device.
+type SSD struct {
+	cfg Config
+	eng *sim.Engine
+	rng *sim.RNG
+
+	meter   *power.Meter
+	cCtrl   power.Component
+	cIface  power.Component
+	cCmd    power.Component
+	cRipple power.Component
+	cTrans  power.Component
+	cDies   []power.Component
+
+	reg          *power.Regulator
+	psIndex      int
+	stateReadyAt time.Duration
+
+	// Serialized resources, as busy-until horizons.
+	cmdFreeAt  time.Duration
+	linkFreeAt time.Duration
+	dieFreeAt  []time.Duration
+
+	// FTL state. hostPending and ampPending are bytes accumulated in
+	// open pages awaiting a full-page program; a flush timer programs
+	// partial pages when the stream goes quiet.
+	nextDie      int
+	lastWriteEnd int64
+	hostPending  int64
+	ampPending   int64
+	flushTimer   *sim.Timer
+
+	// Write buffer.
+	bufFree    int64
+	bufWaiters []bufWaiter
+
+	// Standby state machine.
+	mode    mode
+	pending []pendingIO
+
+	// APST (non-operational idle states).
+	apstEnabled bool
+	nonOpIndex  int // -1 when operational
+	apstTimer   *sim.Timer
+
+	// Activity tracking for the ripple process.
+	inflight      int
+	rippleRunning bool
+	rippleBurst   bool
+
+	// Derived constants.
+	pageXfer time.Duration
+	eRead    float64 // regulated energy per page read
+	eProg    float64 // regulated energy per page program
+	pReadEff float64 // effective die power during a read op
+	pProgEff float64 // effective die power during a program op
+}
+
+type bufWaiter struct {
+	bytes int64
+	cont  func()
+}
+
+type pendingIO struct {
+	r    device.Request
+	done func()
+}
+
+// New constructs an SSD attached to the engine, drawing idle power from
+// time zero. The RNG seeds the activity-ripple process.
+func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*SSD, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &SSD{
+		cfg:         cfg,
+		eng:         eng,
+		rng:         rng.Stream("ssd/" + cfg.Name),
+		meter:       power.NewMeter(eng.Now()),
+		bufFree:     cfg.BufferBytes,
+		apstEnabled: cfg.APSTDefault,
+		nonOpIndex:  -1,
+	}
+	d.cCtrl = d.meter.AddComponent("controller", cfg.PController)
+	d.cIface = d.meter.AddComponent("interface", cfg.PIfaceIdle)
+	d.cCmd = d.meter.AddComponent("cmd", 0)
+	d.cRipple = d.meter.AddComponent("ripple", 0)
+	d.cTrans = d.meter.AddComponent("transition", 0)
+	n := cfg.Dies()
+	d.cDies = make([]power.Component, n)
+	d.dieFreeAt = make([]time.Duration, n)
+	for i := range d.cDies {
+		d.cDies[i] = d.meter.AddComponent(fmt.Sprintf("die%d", i), 0)
+	}
+
+	d.pageXfer = time.Duration(float64(cfg.PageSize) / (cfg.ChannelMBps * 1e6) * float64(time.Second))
+	readDur := (cfg.TRead + d.pageXfer).Seconds()
+	progDur := (cfg.TProg + d.pageXfer).Seconds()
+	d.eRead = cfg.PDieRead*cfg.TRead.Seconds() + cfg.EPageXferJ
+	d.eProg = cfg.PDieProg*cfg.TProg.Seconds() + cfg.EPageXferJ
+	d.pReadEff = d.eRead / readDur
+	d.pProgEff = d.eProg / progDur
+
+	d.reg = power.Uncapped()
+	if len(cfg.PowerStates) > 0 {
+		if err := d.SetPowerState(0); err != nil {
+			return nil, err
+		}
+	}
+	d.armAPST()
+	return d, nil
+}
+
+// Name implements device.Device.
+func (d *SSD) Name() string { return d.cfg.Name }
+
+// Model implements device.Device.
+func (d *SSD) Model() string { return d.cfg.Model }
+
+// Protocol implements device.Device.
+func (d *SSD) Protocol() device.Protocol { return d.cfg.Protocol }
+
+// CapacityBytes implements device.Device.
+func (d *SSD) CapacityBytes() int64 { return d.cfg.CapacityBytes }
+
+// Config returns the device's configuration.
+func (d *SSD) Config() Config { return d.cfg }
+
+// InstantPower implements device.Device.
+func (d *SSD) InstantPower() float64 { return d.meter.Instant(d.eng.Now()) }
+
+// EnergyJ implements device.Device.
+func (d *SSD) EnergyJ() float64 { return d.meter.Energy(d.eng.Now()) }
+
+// PowerBreakdown returns the instantaneous draw of each electrical
+// component, with per-die draws folded into one "dies" entry.
+func (d *SSD) PowerBreakdown() (names []string, watts []float64) {
+	bd := d.meter.Breakdown()
+	names = []string{"controller", "interface", "cmd", "ripple", "transition", "dies"}
+	watts = make([]float64, 6)
+	copy(watts, bd[:5])
+	for _, w := range bd[5:] {
+		watts[5] += w
+	}
+	return names, watts
+}
+
+// PowerStates implements device.Device.
+func (d *SSD) PowerStates() []device.PowerState {
+	out := make([]device.PowerState, len(d.cfg.PowerStates))
+	copy(out, d.cfg.PowerStates)
+	return out
+}
+
+// PowerStateIndex implements device.Device.
+func (d *SSD) PowerStateIndex() int { return d.psIndex }
+
+// SetPowerState implements device.Device. The new cap takes effect after
+// the descriptor's entry latency; admissions pause until then, modeling
+// the transition stall.
+func (d *SSD) SetPowerState(index int) error {
+	if len(d.cfg.PowerStates) == 0 {
+		return device.ErrNotSupported
+	}
+	if index < 0 || index >= len(d.cfg.PowerStates) {
+		return fmt.Errorf("%w: %d of %d", device.ErrBadPowerState, index, len(d.cfg.PowerStates))
+	}
+	ps := d.cfg.PowerStates[index]
+	d.psIndex = index
+	now := d.eng.Now()
+	ready := now + ps.EntryLatency
+	if ready > d.stateReadyAt {
+		d.stateReadyAt = ready
+	}
+	if ps.MaxPowerW == 0 {
+		d.reg = power.Uncapped()
+	} else {
+		d.reg = power.NewRegulator(ps.MaxPowerW-d.cfg.IdleFloorW(), d.cfg.CapBurst, now)
+	}
+	return nil
+}
+
+// Standby implements device.Device.
+func (d *SSD) Standby() bool { return d.mode == entering || d.mode == standby }
+
+// Settled implements device.Device.
+func (d *SSD) Settled() bool { return d.mode == awake || d.mode == standby }
+
+// EnterStandby implements device.Device. For SATA SSDs this is the ALPM
+// SLUMBER transition: a short burst of flush/state-save work, then the
+// link and most of the controller power off.
+func (d *SSD) EnterStandby() error {
+	if !d.cfg.HasStandby {
+		return device.ErrNotSupported
+	}
+	if d.mode != awake {
+		return nil // already in, or on the way to, standby
+	}
+	d.exitNonOp()
+	d.stopAPSTTimer()
+	now := d.eng.Now()
+	d.mode = entering
+	d.meter.Set(d.cTrans, d.cfg.PStandbyEnter-d.cfg.IdleFloorW(), now)
+	d.eng.After(d.cfg.StandbyEnter, func() {
+		if d.mode != entering {
+			return
+		}
+		t := d.eng.Now()
+		d.mode = standby
+		d.meter.Set(d.cTrans, 0, t)
+		d.meter.Set(d.cCtrl, d.cfg.PSlumber, t)
+		d.meter.Set(d.cIface, 0, t)
+		if len(d.pending) > 0 {
+			// IO arrived while the link was powering down; come back.
+			d.startWake()
+		}
+	})
+	return nil
+}
+
+// Wake implements device.Device.
+func (d *SSD) Wake() error {
+	if !d.cfg.HasStandby {
+		return device.ErrNotSupported
+	}
+	switch d.mode {
+	case standby:
+		d.startWake()
+	case entering:
+		// Queue the wake behind the in-progress entry; the entry
+		// completion sees pending work and re-wakes. Register intent
+		// with a sentinel pending entry only if none exists.
+		if len(d.pending) == 0 {
+			d.pending = append(d.pending, pendingIO{})
+		}
+	}
+	return nil
+}
+
+func (d *SSD) startWake() {
+	now := d.eng.Now()
+	d.mode = waking
+	d.meter.Set(d.cCtrl, d.cfg.PController, now)
+	d.meter.Set(d.cTrans, d.cfg.PStandbyExit-d.cfg.IdleFloorW(), now)
+	d.eng.After(d.cfg.StandbyExit, func() {
+		t := d.eng.Now()
+		d.mode = awake
+		d.meter.Set(d.cTrans, 0, t)
+		d.meter.Set(d.cIface, d.cfg.PIfaceIdle, t)
+		ps := d.pending
+		d.pending = nil
+		for _, p := range ps {
+			if p.done == nil {
+				continue // wake-intent sentinel
+			}
+			d.begin(p.r, p.done)
+		}
+	})
+}
+
+// Submit implements device.Device.
+func (d *SSD) Submit(r device.Request, done func()) {
+	if err := r.Validate(d.cfg.CapacityBytes); err != nil {
+		panic(fmt.Sprintf("ssd %s: %v", d.cfg.Name, err))
+	}
+	if r.Size > d.cfg.BufferBytes {
+		panic(fmt.Sprintf("ssd %s: request size %d exceeds buffer %d", d.cfg.Name, r.Size, d.cfg.BufferBytes))
+	}
+	if done == nil {
+		panic("ssd: Submit with nil done")
+	}
+	if d.mode != awake {
+		d.pending = append(d.pending, pendingIO{r, done})
+		d.Wake()
+		return
+	}
+	d.exitNonOp()
+	d.stopAPSTTimer()
+	d.begin(r, done)
+}

@@ -1,0 +1,203 @@
+// Package stats provides the summary statistics used throughout the
+// measurement study: means, medians, percentiles, violin summaries of
+// power distributions, and histograms of IO latency.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample set. It is the textual equivalent of one
+// violin in the paper's Figure 2b.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	Stddev float64
+	P1     float64
+	P25    float64
+	P75    float64
+	P99    float64
+}
+
+// Summarize computes a Summary over xs. It returns the zero Summary for an
+// empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard against floating-point cancellation
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Median: quantileSorted(s, 0.5),
+		Stddev: math.Sqrt(variance),
+		P1:     quantileSorted(s, 0.01),
+		P25:    quantileSorted(s, 0.25),
+		P75:    quantileSorted(s, 0.75),
+		P99:    quantileSorted(s, 0.99),
+	}
+}
+
+// String renders the summary on one line, suitable for experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f p25=%.3f med=%.3f mean=%.3f p75=%.3f p99=%.3f max=%.3f sd=%.3f",
+		s.N, s.Min, s.P25, s.Median, s.Mean, s.P75, s.P99, s.Max, s.Stddev)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice or
+// an out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MinMax returns the smallest and largest values in xs. It panics on an
+// empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Normalize returns xs scaled so that the largest value maps to 1. A
+// slice whose maximum is zero is returned as all zeros.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	_, hi := MinMax(xs)
+	if hi == 0 {
+		return out
+	}
+	for i, v := range xs {
+		out[i] = v / hi
+	}
+	return out
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi). Values
+// outside the range are clamped into the first and last buckets, so no
+// observation is silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []uint64
+	total  uint64
+}
+
+// NewHistogram returns a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%v, %v) is empty", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	i := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BucketMid returns the midpoint value of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Quantile estimates the q-quantile from bucket midpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		panic("stats: quantile of empty histogram")
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return h.BucketMid(i)
+		}
+	}
+	return h.BucketMid(len(h.Counts) - 1)
+}

@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	s := Summarize(xs)
+	if s.N != 5 {
+		t.Errorf("N = %d, want 5", s.N)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("min/max = %v/%v, want 1/5", s.Min, s.Max)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if s.Median != 3 {
+		t.Errorf("median = %v, want 3", s.Median)
+	}
+	wantSD := math.Sqrt(2) // population stddev of 1..5
+	if math.Abs(s.Stddev-wantSD) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.Stddev, wantSD)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v, want zero value", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("q0 = %v, want 10", got)
+	}
+	if got := Quantile(xs, 1); got != 40 {
+		t.Errorf("q1 = %v, want 40", got)
+	}
+	if got := Quantile(xs, 0.5); got != 25 {
+		t.Errorf("median = %v, want 25 (interpolated)", got)
+	}
+}
+
+func TestQuantileSingleElement(t *testing.T) {
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("quantile of singleton = %v, want 7", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"empty", func() { Quantile(nil, 0.5) }},
+		{"below", func() { Quantile([]float64{1}, -0.1) }},
+		{"above", func() { Quantile([]float64{1}, 1.1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+// Property: the quantile is always within [min, max] and monotone in q.
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		frac := func(x float64) float64 { return math.Abs(x - math.Trunc(x)) }
+		qa, qb = frac(qa), frac(qb)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		lo, hi := MinMax(xs)
+		va, vb := Quantile(xs, qa), Quantile(xs, qb)
+		return va >= lo && vb <= hi && va <= vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 8})
+	want := []float64{0.25, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeAllZero(t *testing.T) {
+	got := Normalize([]float64{0, 0})
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("Normalize zeros = %v, want zeros", got)
+	}
+}
+
+// Property: normalization preserves order and maps the max to 1 when the
+// max is positive.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		n := Normalize(xs)
+		idx := make([]int, len(xs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+		for k := 1; k < len(idx); k++ {
+			if n[idx[k]] < n[idx[k-1]] {
+				return false
+			}
+		}
+		_, hi := MinMax(n)
+		return math.Abs(hi-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bucket %d count = %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d, want 10", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)
+	h.Add(100)
+	if h.Counts[0] != 1 || h.Counts[9] != 1 {
+		t.Errorf("out-of-range values not clamped: %v", h.Counts)
+	}
+	if h.Total() != 2 {
+		t.Errorf("Total = %d, want 2", h.Total())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median estimate = %v, want ≈ 50", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95 {
+		t.Errorf("p99 estimate = %v, want ≥ 95", p99)
+	}
+}
+
+func TestHistogramConstructorPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero buckets", func() { NewHistogram(0, 1, 0) }},
+		{"empty range", func() { NewHistogram(5, 5, 4) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v; want -1, 7", lo, hi)
+	}
+}

@@ -1,0 +1,265 @@
+// Package sweep runs measurement-study experiment grids: for each
+// combination of device, power state, and IO shape it builds a fresh
+// simulated testbed (device + measurement rig + workload generator),
+// runs the paper's 4 GiB-or-60 s experiment, and reports the operating
+// point with power measured through the instrumented rig — not read
+// from the simulator's bookkeeping — so measurement error is part of
+// every reported number, as it was in the paper.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/core"
+	"wattio/internal/device"
+	"wattio/internal/hdd"
+	"wattio/internal/measure"
+	"wattio/internal/sim"
+	"wattio/internal/trace"
+	"wattio/internal/workload"
+)
+
+// Point is one completed experiment: the configuration, the workload
+// result, and the rig-measured power trace over the run.
+type Point struct {
+	Config    core.Config
+	Result    workload.Result
+	AvgPowerW float64
+	Trace     *trace.PowerTrace
+}
+
+// Sample converts the point to a model sample.
+func (p Point) Sample() core.Sample {
+	return core.Sample{
+		Config:         p.Config,
+		PowerW:         p.AvgPowerW,
+		ThroughputMBps: p.Result.BandwidthMBps,
+		AvgLat:         p.Result.LatAvg,
+		P99Lat:         p.Result.LatP99,
+	}
+}
+
+// Spec describes one experiment grid on one device. Zero-valued slice
+// fields default to a single natural element.
+type Spec struct {
+	Device      string
+	PowerStates []int // nil → {0}
+	Ops         []device.Op
+	Patterns    []workload.Pattern
+	Chunks      []int64
+	Depths      []int
+
+	// Runtime and TotalBytes bound each experiment; zero values take
+	// the paper's defaults (60 s, 4 GiB).
+	Runtime    time.Duration
+	TotalBytes int64
+	// Span restricts the offset range; 0 means the whole device.
+	Span int64
+	// Seed makes the grid reproducible.
+	Seed uint64
+	// KeepTrace retains each point's full power trace (memory-heavy;
+	// Fig. 2 needs it, Fig. 8 does not).
+	KeepTrace bool
+}
+
+func (s *Spec) defaults() {
+	if len(s.PowerStates) == 0 {
+		s.PowerStates = []int{0}
+	}
+	if len(s.Ops) == 0 {
+		s.Ops = []device.Op{device.OpWrite}
+	}
+	if len(s.Patterns) == 0 {
+		s.Patterns = []workload.Pattern{workload.Rand}
+	}
+	if len(s.Chunks) == 0 {
+		s.Chunks = []int64{256 * 1024}
+	}
+	if len(s.Depths) == 0 {
+		s.Depths = []int{64}
+	}
+	if s.Runtime == 0 {
+		s.Runtime = time.Minute
+	}
+	if s.TotalBytes == 0 {
+		s.TotalBytes = 4 << 30
+	}
+}
+
+// PaperChunks are the six chunk sizes the paper sweeps (4 KiB-2 MiB).
+func PaperChunks() []int64 {
+	return []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
+}
+
+// PaperDepths are the six IO depths the paper sweeps (1-128).
+func PaperDepths() []int {
+	return []int{1, 4, 8, 32, 64, 128}
+}
+
+// RailFor returns the supply rail the rig instruments for a device: the
+// 12 V riser/peripheral rail for NVMe devices and HDD spindle motors,
+// 5 V for SATA SSDs.
+func RailFor(d device.Device) float64 {
+	if _, isHDD := d.(*hdd.HDD); isHDD {
+		return 12
+	}
+	if d.Protocol() == device.SATA {
+		return 5
+	}
+	return 12
+}
+
+// cell is one grid coordinate.
+type cell struct {
+	ps    int
+	op    device.Op
+	pat   workload.Pattern
+	chunk int64
+	depth int
+}
+
+// Run executes the grid and returns one point per combination, in
+// (power state, op, pattern, chunk, depth) nesting order. Cells are
+// independent simulations (each gets a fresh engine, device, and rig),
+// so they run in parallel across CPUs; results are deterministic and
+// order-stable regardless of scheduling.
+func Run(spec Spec) ([]Point, error) {
+	spec.defaults()
+	var cells []cell
+	for _, ps := range spec.PowerStates {
+		for _, op := range spec.Ops {
+			for _, pat := range spec.Patterns {
+				for _, chunk := range spec.Chunks {
+					for _, depth := range spec.Depths {
+						cells = append(cells, cell{ps, op, pat, chunk, depth})
+					}
+				}
+			}
+		}
+	}
+	out := make([]Point, len(cells))
+	errs := make([]error, len(cells))
+	workers := runtime.NumCPU()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cells[i]
+				out[i], errs[i] = runOne(spec, c.ps, c.op, c.pat, c.chunk, c.depth)
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runOne builds a fresh testbed and runs a single experiment.
+func runOne(spec Spec, ps int, op device.Op, pat workload.Pattern, chunk int64, depth int) (Point, error) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(spec.Seed ^ hashConfig(ps, op, pat, chunk, depth))
+	dev, ok := catalog.ByName(spec.Device, eng, rng)
+	if !ok {
+		return Point{}, fmt.Errorf("sweep: unknown device %q", spec.Device)
+	}
+	if ps != 0 {
+		if err := dev.SetPowerState(ps); err != nil {
+			return Point{}, fmt.Errorf("sweep: %s ps%d: %w", spec.Device, ps, err)
+		}
+	}
+	rig, err := measure.NewRig(eng, rng, dev, measure.DefaultRigConfig(RailFor(dev)))
+	if err != nil {
+		return Point{}, err
+	}
+	rig.Start()
+	job := workload.Job{
+		Op: op, Pattern: pat, BS: chunk, Depth: depth,
+		Runtime: spec.Runtime, TotalBytes: spec.TotalBytes, Span: spec.Span,
+	}
+	res := workload.Run(eng, dev, job, rng)
+	rig.Stop()
+	tr := rig.Trace()
+	p := Point{
+		Config: core.Config{
+			Device:     spec.Device,
+			PowerState: ps,
+			Random:     pat == workload.Rand,
+			Write:      op == device.OpWrite,
+			ChunkBytes: chunk,
+			Depth:      depth,
+		},
+		Result:    res,
+		AvgPowerW: tr.Mean(),
+	}
+	if spec.KeepTrace {
+		p.Trace = tr
+	}
+	return p, nil
+}
+
+// hashConfig derives a per-point seed offset so each grid cell gets an
+// independent but reproducible random stream.
+func hashConfig(ps int, op device.Op, pat workload.Pattern, chunk int64, depth int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range []uint64{uint64(ps), uint64(op), uint64(pat), uint64(chunk), uint64(depth)} {
+		h = (h ^ v) * 1099511628211
+	}
+	return h
+}
+
+// Samples converts a slice of points to model samples.
+func Samples(points []Point) []core.Sample {
+	out := make([]core.Sample, len(points))
+	for i, p := range points {
+		out[i] = p.Sample()
+	}
+	return out
+}
+
+// BuildModel runs the full Fig. 10 grid for one device — every chunk ×
+// depth combination (and every power state for devices that have them)
+// under the given op and pattern — and returns its power-throughput
+// model.
+func BuildModel(devName string, op device.Op, pat workload.Pattern, seed uint64, runtime time.Duration, totalBytes int64) (*core.Model, error) {
+	spec := Spec{
+		Device:     devName,
+		Ops:        []device.Op{op},
+		Patterns:   []workload.Pattern{pat},
+		Chunks:     PaperChunks(),
+		Depths:     PaperDepths(),
+		Runtime:    runtime,
+		TotalBytes: totalBytes,
+		Seed:       seed,
+	}
+	// Devices with NVMe power states sweep them too (ps0 always runs).
+	spec.PowerStates = []int{0}
+	eng := sim.NewEngine()
+	if dev, ok := catalog.ByName(devName, eng, sim.NewRNG(1)); ok {
+		for i := 1; i < len(dev.PowerStates()); i++ {
+			spec.PowerStates = append(spec.PowerStates, i)
+		}
+	}
+	points, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewModel(devName, Samples(points))
+}

@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/device"
+	"wattio/internal/sim"
+	"wattio/internal/workload"
+)
+
+// quickSpec returns a small grid that runs fast under `go test`.
+func quickSpec(dev string) Spec {
+	return Spec{
+		Device:     dev,
+		Chunks:     []int64{64 << 10, 1 << 20},
+		Depths:     []int{1, 64},
+		Runtime:    2 * time.Second,
+		TotalBytes: 256 << 20,
+		Seed:       11,
+	}
+}
+
+func TestRunGridShape(t *testing.T) {
+	pts, err := Run(quickSpec("SSD2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4 (2 chunks × 2 depths)", len(pts))
+	}
+	for _, p := range pts {
+		if p.AvgPowerW < 5 || p.AvgPowerW > 16 {
+			t.Errorf("%v: power %.2f W outside SSD2's plausible range", p.Config, p.AvgPowerW)
+		}
+		if p.Result.IOs == 0 {
+			t.Errorf("%v: no IO completed", p.Config)
+		}
+		if p.Trace != nil {
+			t.Errorf("%v: trace kept without KeepTrace", p.Config)
+		}
+	}
+}
+
+func TestRunKeepsTraceWhenAsked(t *testing.T) {
+	spec := quickSpec("SSD1")
+	spec.Chunks = []int64{256 << 10}
+	spec.Depths = []int{64}
+	spec.KeepTrace = true
+	pts, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Trace == nil || pts[0].Trace.Len() == 0 {
+		t.Fatal("trace missing")
+	}
+	// Rig power and trace mean must agree (same data).
+	if pts[0].AvgPowerW != pts[0].Trace.Mean() {
+		t.Error("AvgPowerW disagrees with trace mean")
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	a, err := Run(quickSpec("SSD3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickSpec("SSD3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].AvgPowerW != b[i].AvgPowerW || a[i].Result.IOs != b[i].Result.IOs {
+			t.Fatalf("point %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestRunUnknownDevice(t *testing.T) {
+	if _, err := Run(Spec{Device: "SSD9"}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestRunBadPowerState(t *testing.T) {
+	spec := quickSpec("SSD3") // SATA: no power states
+	spec.PowerStates = []int{1}
+	if _, err := Run(spec); err == nil {
+		t.Fatal("power state on SATA SSD accepted")
+	}
+}
+
+func TestPaperGrids(t *testing.T) {
+	if got := len(PaperChunks()); got != 6 {
+		t.Errorf("PaperChunks has %d entries, want 6", got)
+	}
+	if got := len(PaperDepths()); got != 6 {
+		t.Errorf("PaperDepths has %d entries, want 6", got)
+	}
+	if PaperChunks()[0] != 4096 || PaperChunks()[5] != 2<<20 {
+		t.Error("chunk endpoints wrong")
+	}
+	if PaperDepths()[0] != 1 || PaperDepths()[5] != 128 {
+		t.Error("depth endpoints wrong")
+	}
+}
+
+func TestRailFor(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	if got := RailFor(catalog.NewSSD2(eng, rng)); got != 12 {
+		t.Errorf("NVMe rail = %v, want 12", got)
+	}
+	if got := RailFor(catalog.NewSSD3(eng, rng)); got != 5 {
+		t.Errorf("SATA SSD rail = %v, want 5", got)
+	}
+	if got := RailFor(catalog.NewHDD(eng, rng)); got != 12 {
+		t.Errorf("HDD rail = %v, want 12", got)
+	}
+}
+
+func TestBuildModelSweepsPowerStates(t *testing.T) {
+	m, err := BuildModel("SSD2", device.OpWrite, workload.Rand, 5, time.Second, 128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 chunks × 6 depths × 3 power states.
+	if got := len(m.Samples()); got != 108 {
+		t.Fatalf("model has %d samples, want 108", got)
+	}
+	seen := map[int]bool{}
+	for _, s := range m.Samples() {
+		seen[s.PowerState] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Errorf("power states covered: %v, want 0,1,2", seen)
+	}
+}
+
+func TestSamplesConversion(t *testing.T) {
+	pts, err := Run(quickSpec("SSD3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := Samples(pts)
+	if len(ss) != len(pts) {
+		t.Fatalf("Samples len %d != %d", len(ss), len(pts))
+	}
+	for i := range ss {
+		if ss[i].PowerW != pts[i].AvgPowerW || ss[i].ThroughputMBps != pts[i].Result.BandwidthMBps {
+			t.Errorf("sample %d does not match point", i)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package trace holds time-series captured during experiments: power
+// traces from the measurement rig and helpers to window, summarize, and
+// export them the way the paper's figures consume them.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"wattio/internal/stats"
+)
+
+// PowerSample is one calibrated power reading.
+type PowerSample struct {
+	T time.Duration // virtual time of the ADC sample
+	W float64       // watts
+}
+
+// PowerTrace is an append-only series of power samples in time order.
+type PowerTrace struct {
+	samples []PowerSample
+}
+
+// Append adds a sample; times must be nondecreasing.
+func (p *PowerTrace) Append(t time.Duration, w float64) {
+	if n := len(p.samples); n > 0 && t < p.samples[n-1].T {
+		panic(fmt.Sprintf("trace: sample at %v before last %v", t, p.samples[n-1].T))
+	}
+	p.samples = append(p.samples, PowerSample{t, w})
+}
+
+// Len returns the number of samples.
+func (p *PowerTrace) Len() int { return len(p.samples) }
+
+// At returns sample i.
+func (p *PowerTrace) At(i int) PowerSample { return p.samples[i] }
+
+// Watts returns the power values as a slice, for statistics.
+func (p *PowerTrace) Watts() []float64 {
+	out := make([]float64, len(p.samples))
+	for i, s := range p.samples {
+		out[i] = s.W
+	}
+	return out
+}
+
+// Between returns the sub-trace with a ≤ T < b. The returned trace
+// shares no state with the receiver.
+func (p *PowerTrace) Between(a, b time.Duration) *PowerTrace {
+	out := &PowerTrace{}
+	for _, s := range p.samples {
+		if s.T >= a && s.T < b {
+			out.samples = append(out.samples, s)
+		}
+	}
+	return out
+}
+
+// Summary computes distribution statistics over the trace, the textual
+// form of one violin in the paper's Figure 2b.
+func (p *PowerTrace) Summary() stats.Summary { return stats.Summarize(p.Watts()) }
+
+// Mean returns the average power over the trace.
+func (p *PowerTrace) Mean() float64 { return stats.Mean(p.Watts()) }
+
+// WriteCSV emits "ms,watts" rows, the format the paper's plotting
+// scripts consume.
+func (p *PowerTrace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_ms,power_w"); err != nil {
+		return err
+	}
+	for _, s := range p.samples {
+		if _, err := fmt.Fprintf(w, "%.3f,%.6f\n", float64(s.T)/1e6, s.W); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppendAndStats(t *testing.T) {
+	var p PowerTrace
+	for i := 0; i < 10; i++ {
+		p.Append(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	if p.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", p.Len())
+	}
+	if got := p.Mean(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 4.5", got)
+	}
+	s := p.Summary()
+	if s.Min != 0 || s.Max != 9 {
+		t.Errorf("Summary min/max = %v/%v, want 0/9", s.Min, s.Max)
+	}
+}
+
+func TestAppendBackwardPanics(t *testing.T) {
+	var p PowerTrace
+	p.Append(time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	p.Append(time.Millisecond, 2)
+}
+
+func TestBetween(t *testing.T) {
+	var p PowerTrace
+	for i := 0; i < 10; i++ {
+		p.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	sub := p.Between(3*time.Second, 7*time.Second)
+	if sub.Len() != 4 {
+		t.Fatalf("Between returned %d samples, want 4", sub.Len())
+	}
+	if sub.At(0).W != 3 || sub.At(3).W != 6 {
+		t.Errorf("Between window wrong: %v..%v", sub.At(0).W, sub.At(3).W)
+	}
+	// Mutating the sub-trace must not affect the parent.
+	sub.Append(100*time.Second, 99)
+	if p.Len() != 10 {
+		t.Error("sub-trace shares state with parent")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var p PowerTrace
+	p.Append(1500*time.Microsecond, 8.25)
+	var sb strings.Builder
+	if err := p.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "time_ms,power_w\n") {
+		t.Errorf("missing header: %q", got)
+	}
+	if !strings.Contains(got, "1.500,8.250000") {
+		t.Errorf("row not formatted: %q", got)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var p PowerTrace
+	if p.Mean() != 0 {
+		t.Error("Mean of empty trace not 0")
+	}
+	if p.Summary().N != 0 {
+		t.Error("Summary of empty trace not zero-valued")
+	}
+	if p.Between(0, time.Second).Len() != 0 {
+		t.Error("Between on empty trace not empty")
+	}
+}

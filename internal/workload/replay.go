@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/sim"
+)
+
+// IO trace record/replay: capture the exact request stream one
+// configuration produced and re-issue it, with original timing, against
+// a different device or policy. This is how apples-to-apples
+// comparisons are made when the question is "what would this workload
+// have cost on that device?" rather than "what does this device do at
+// saturation?".
+
+// IOEvent is one recorded submission.
+type IOEvent struct {
+	At     time.Duration // submission time relative to recording start
+	Op     device.Op
+	Offset int64
+	Size   int64
+}
+
+// IOTrace is a time-ordered request stream.
+type IOTrace struct {
+	Events []IOEvent
+}
+
+// Duration returns the submission span of the trace.
+func (t *IOTrace) Duration() time.Duration {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].At
+}
+
+// Bytes returns the total bytes the trace moves.
+func (t *IOTrace) Bytes() int64 {
+	var sum int64
+	for _, e := range t.Events {
+		sum += e.Size
+	}
+	return sum
+}
+
+// Recorder wraps a device, recording every submission (with its timing)
+// while passing it through. It implements device.Device, so it drops
+// transparently between any workload source and any device.
+type Recorder struct {
+	device.Device
+	eng   *sim.Engine
+	start time.Duration
+	trace IOTrace
+}
+
+// NewRecorder wraps dev; the trace clock starts now.
+func NewRecorder(eng *sim.Engine, dev device.Device) *Recorder {
+	return &Recorder{Device: dev, eng: eng, start: eng.Now()}
+}
+
+// Submit implements device.Device, recording then forwarding.
+func (r *Recorder) Submit(req device.Request, done func()) {
+	r.trace.Events = append(r.trace.Events, IOEvent{
+		At:     r.eng.Now() - r.start,
+		Op:     req.Op,
+		Offset: req.Offset,
+		Size:   req.Size,
+	})
+	r.Device.Submit(req, done)
+}
+
+// Trace returns the recording so far.
+func (r *Recorder) Trace() IOTrace { return r.trace }
+
+// Replay re-issues the trace against dev with the original inter-arrival
+// timing (open loop: a slow device queues, it does not slow arrivals).
+// It drives the engine to completion and returns the same statistics a
+// live run produces. Offsets beyond the target's capacity wrap.
+func Replay(eng *sim.Engine, dev device.Device, tr IOTrace) (Result, error) {
+	if len(tr.Events) == 0 {
+		return Result{}, fmt.Errorf("workload: empty trace")
+	}
+	if !sort.SliceIsSorted(tr.Events, func(i, j int) bool { return tr.Events[i].At < tr.Events[j].At }) {
+		return Result{}, fmt.Errorf("workload: trace events out of order")
+	}
+	capacity := dev.CapacityBytes()
+	start := eng.Now()
+	remaining := len(tr.Events)
+	latencies := make([]time.Duration, 0, len(tr.Events))
+	var lastDone time.Duration
+	for _, e := range tr.Events {
+		e := e
+		eng.Schedule(start+e.At, func() {
+			req := device.Request{Op: e.Op, Offset: e.Offset, Size: e.Size}
+			if req.Offset+req.Size > capacity {
+				req.Offset = req.Offset % (capacity - req.Size)
+				req.Offset -= req.Offset % 512
+			}
+			submitted := eng.Now()
+			dev.Submit(req, func() {
+				latencies = append(latencies, eng.Now()-submitted)
+				lastDone = eng.Now()
+				remaining--
+			})
+		})
+	}
+	for remaining > 0 {
+		if !eng.Step() {
+			return Result{}, fmt.Errorf("workload: engine drained with %d replayed IOs outstanding", remaining)
+		}
+	}
+	res := Result{
+		IOs:       int64(len(latencies)),
+		Bytes:     tr.Bytes(),
+		Elapsed:   lastDone - start,
+		Latencies: latencies,
+	}
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.BandwidthMBps = float64(res.Bytes) / 1e6 / secs
+		res.IOPS = float64(res.IOs) / secs
+	}
+	fillLatencyStats(&res)
+	return res, nil
+}
+
+// fillLatencyStats computes the summary fields from raw latencies.
+func fillLatencyStats(res *Result) {
+	if len(res.Latencies) == 0 {
+		return
+	}
+	sorted := make([]time.Duration, len(res.Latencies))
+	copy(sorted, res.Latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	res.LatAvg = sum / time.Duration(len(sorted))
+	res.LatP50 = sorted[len(sorted)/2]
+	res.LatP99 = sorted[(len(sorted)-1)*99/100]
+	res.LatMax = sorted[len(sorted)-1]
+}
+
+var _ device.Device = (*Recorder)(nil)

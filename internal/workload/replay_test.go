@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/sim"
+)
+
+func TestRecorderCapturesStream(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := newFake(eng, time.Millisecond)
+	rec := NewRecorder(eng, dev)
+	res := Run(eng, rec, Job{
+		Op: device.OpWrite, Pattern: Rand, BS: 8192, Depth: 4, TotalBytes: 32 * 8192,
+	}, sim.NewRNG(9))
+	tr := rec.Trace()
+	if int64(len(tr.Events)) != res.IOs {
+		t.Fatalf("recorded %d events, ran %d IOs", len(tr.Events), res.IOs)
+	}
+	if tr.Bytes() != res.Bytes {
+		t.Fatalf("trace bytes %d != run bytes %d", tr.Bytes(), res.Bytes)
+	}
+	for i, e := range tr.Events {
+		if e.Op != device.OpWrite || e.Size != 8192 {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if i > 0 && e.At < tr.Events[i-1].At {
+			t.Fatal("trace timestamps not monotone")
+		}
+	}
+	// The recorder is transparent: the wrapped device saw everything.
+	if len(dev.submits) != len(tr.Events) {
+		t.Fatal("recorder swallowed submissions")
+	}
+}
+
+func TestReplayPreservesTiming(t *testing.T) {
+	tr := IOTrace{Events: []IOEvent{
+		{At: 0, Op: device.OpRead, Offset: 0, Size: 4096},
+		{At: 10 * time.Millisecond, Op: device.OpRead, Offset: 8192, Size: 4096},
+		{At: 30 * time.Millisecond, Op: device.OpWrite, Offset: 0, Size: 4096},
+	}}
+	eng := sim.NewEngine()
+	dev := newFake(eng, time.Millisecond)
+	res, err := Replay(eng, dev, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOs != 3 {
+		t.Fatalf("IOs = %d, want 3", res.IOs)
+	}
+	// Last submission at 30ms + 1ms service.
+	if res.Elapsed != 31*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 31ms", res.Elapsed)
+	}
+	if len(dev.submits) != 3 {
+		t.Fatalf("device saw %d submissions", len(dev.submits))
+	}
+	if res.LatAvg != time.Millisecond {
+		t.Fatalf("LatAvg = %v, want 1ms", res.LatAvg)
+	}
+}
+
+func TestRecordOnFastReplayOnSlow(t *testing.T) {
+	// Record a stream against a fast device, replay against a slow one:
+	// same arrivals, higher latency (open loop).
+	eng := sim.NewEngine()
+	fast := newFake(eng, 100*time.Microsecond)
+	rec := NewRecorder(eng, fast)
+	Run(eng, rec, Job{
+		Op: device.OpRead, Pattern: Rand, BS: 4096,
+		Arrival: OpenUniform, RateIOPS: 2000, Runtime: 100 * time.Millisecond,
+	}, sim.NewRNG(9))
+	tr := rec.Trace()
+
+	eng2 := sim.NewEngine()
+	slow := newFake(eng2, 5*time.Millisecond)
+	res, err := Replay(eng2, slow, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(tr.Events)) != res.IOs {
+		t.Fatalf("replayed %d of %d events", res.IOs, len(tr.Events))
+	}
+	if res.LatAvg != 5*time.Millisecond {
+		t.Fatalf("slow replay LatAvg = %v, want 5ms", res.LatAvg)
+	}
+	// Arrivals unchanged: total span ≈ recording span + service tail.
+	if res.Elapsed > tr.Duration()+6*time.Millisecond {
+		t.Fatalf("replay stretched arrivals: %v vs trace %v", res.Elapsed, tr.Duration())
+	}
+}
+
+func TestReplayWrapsOffsetsForSmallerDevice(t *testing.T) {
+	tr := IOTrace{Events: []IOEvent{
+		{At: 0, Op: device.OpRead, Offset: 10 << 30, Size: 4096}, // beyond 1 GiB fake
+	}}
+	eng := sim.NewEngine()
+	dev := newFake(eng, time.Millisecond)
+	res, err := Replay(eng, dev, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOs != 1 {
+		t.Fatal("wrapped IO did not complete")
+	}
+	if off := dev.submits[0].Offset; off+4096 > dev.CapacityBytes() || off%512 != 0 {
+		t.Fatalf("wrapped offset %d invalid", off)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := newFake(eng, time.Millisecond)
+	if _, err := Replay(eng, dev, IOTrace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := IOTrace{Events: []IOEvent{
+		{At: time.Second, Op: device.OpRead, Offset: 0, Size: 4096},
+		{At: 0, Op: device.OpRead, Offset: 0, Size: 4096},
+	}}
+	if _, err := Replay(eng, dev, bad); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+}
