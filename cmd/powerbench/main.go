@@ -8,6 +8,7 @@
 //	powerbench -list
 //	powerbench -exp fig4
 //	powerbench -exp all -scale paper -out results.txt
+//	powerbench -exp fig2 -trace trace.json -metrics
 package main
 
 import (
@@ -18,16 +19,19 @@ import (
 	"time"
 
 	"wattio/internal/experiments"
+	"wattio/internal/telemetry"
 )
 
 func main() {
 	var (
-		expID  = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		scale  = flag.String("scale", "quick", "experiment scale: quick or paper")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		out    = flag.String("out", "", "also write results to this file")
-		csvDir = flag.String("csvdir", "", "export figure data as CSV files into this directory")
-		seed   = flag.Uint64("seed", 42, "root random seed")
+		expID   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale   = flag.String("scale", "quick", "experiment scale: quick or paper")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		out     = flag.String("out", "", "also write results to this file")
+		csvDir  = flag.String("csvdir", "", "export figure data as CSV files into this directory")
+		seed    = flag.Uint64("seed", 42, "root random seed")
+		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) of the run to this file")
+		metrics = flag.Bool("metrics", false, "print a telemetry metrics snapshot after the run")
 	)
 	flag.Parse()
 
@@ -59,6 +63,29 @@ func main() {
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	// Telemetry rides on process-wide defaults: experiments build their
+	// engines internally, and every engine picks the defaults up at
+	// construction.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	var traceFile *os.File
+	if *metrics {
+		reg = telemetry.NewRegistry()
+		telemetry.SetDefault(reg)
+	}
+	if *traceF != "" {
+		// Create the output up front so a bad path fails before the run,
+		// not after minutes of simulation.
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powerbench: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		tracer = telemetry.NewTracer(telemetry.DefaultTraceEventCap)
+		telemetry.SetDefaultTracer(tracer)
 	}
 
 	var todo []experiments.Experiment
@@ -94,5 +121,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if tracer != nil {
+		err := tracer.WriteJSON(traceFile)
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powerbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %s (%d events", *traceF, tracer.Len())
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(w, ", %d dropped at cap", d)
+		}
+		fmt.Fprintln(w, ")")
+	}
+	if reg != nil {
+		fmt.Fprintln(w, "\n# telemetry snapshot")
+		if err := reg.Snapshot().WriteText(w); err != nil {
+			fmt.Fprintf(os.Stderr, "powerbench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

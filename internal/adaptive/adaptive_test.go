@@ -21,6 +21,7 @@ func evoSet(eng *sim.Engine, n int) []device.Device {
 }
 
 func TestRedirectorStandbyPowerSavings(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	devs := evoSet(eng, 4)
 	r, err := NewRedirector("mirror", devs, 1)
@@ -44,6 +45,7 @@ func TestRedirectorStandbyPowerSavings(t *testing.T) {
 }
 
 func TestRedirectorRoutesToActiveOnly(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	devs := evoSet(eng, 3)
 	r, err := NewRedirector("mirror", devs, 2)
@@ -76,6 +78,7 @@ func TestRedirectorRoutesToActiveOnly(t *testing.T) {
 }
 
 func TestRedirectorWakeOnDemand(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	devs := evoSet(eng, 2)
 	r, _ := NewRedirector("mirror", devs, 1)
@@ -99,6 +102,7 @@ func TestRedirectorWakeOnDemand(t *testing.T) {
 }
 
 func TestRedirectorValidation(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	devs := evoSet(eng, 2)
 	if _, err := NewRedirector("r", nil, 1); err == nil {
@@ -117,6 +121,7 @@ func TestRedirectorValidation(t *testing.T) {
 }
 
 func TestAsymmetricPlacerRouting(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(5)
 	w := catalog.NewSSD1(eng, rng.Stream("w"))
@@ -155,6 +160,7 @@ func TestAsymmetricPlacerRouting(t *testing.T) {
 }
 
 func TestAsymmetricPlacerValidation(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(5)
 	s1 := catalog.NewSSD1(eng, rng.Stream("a"))
@@ -176,6 +182,7 @@ func TestAsymmetricPlacerValidation(t *testing.T) {
 }
 
 func TestTierAbsorbsWritesDuringStandby(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(6)
 	fast := catalog.NewSSD3(eng, rng.Stream("fast"))
@@ -236,6 +243,7 @@ func TestTierAbsorbsWritesDuringStandby(t *testing.T) {
 }
 
 func TestTierReadOfColdBlockWakesSlow(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(6)
 	fast := catalog.NewSSD3(eng, rng.Stream("fast"))
@@ -258,6 +266,7 @@ func TestTierReadOfColdBlockWakesSlow(t *testing.T) {
 }
 
 func TestTierLogFullFallsBack(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(6)
 	fast := catalog.NewSSD3(eng, rng.Stream("fast"))
@@ -282,6 +291,7 @@ func TestTierLogFullFallsBack(t *testing.T) {
 }
 
 func TestTierValidation(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(6)
 	fast := catalog.NewSSD3(eng, rng.Stream("fast"))
@@ -303,6 +313,7 @@ func fakeSample(dev string, ps int, w, mbps float64) core.Sample {
 }
 
 func TestBudgetControllerApply(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(8)
 	d1 := catalog.NewSSD1(eng, rng.Stream("1"))
@@ -343,6 +354,7 @@ func TestBudgetControllerApply(t *testing.T) {
 }
 
 func TestBudgetControllerValidation(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(8)
 	d1 := catalog.NewSSD1(eng, rng.Stream("1"))
@@ -380,6 +392,7 @@ func buildHierarchy(eng *sim.Engine) *Domain {
 }
 
 func TestDomainPowerAndBreakers(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	root := buildHierarchy(eng)
 	// 8 idle SSD2s at 5 W = 40 W total.
@@ -398,6 +411,7 @@ func TestDomainPowerAndBreakers(t *testing.T) {
 }
 
 func TestRolloutSpreadsAcrossParents(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	root := buildHierarchy(eng)
 	r := NewRollout(root)
@@ -423,6 +437,7 @@ func TestRolloutSpreadsAcrossParents(t *testing.T) {
 }
 
 func TestRolloutHalt(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	root := buildHierarchy(eng)
 	r := NewRollout(root)

@@ -33,6 +33,7 @@ func readAt(eng *sim.Engine, c *ReadCache, off, size int64) time.Duration {
 }
 
 func TestCacheMissThenHit(t *testing.T) {
+	t.Parallel()
 	c, _, eng := newCachePair(t, 16)
 	// A far offset forces real HDD positioning (offset 0 would stream
 	// from the parked head position).
@@ -55,6 +56,7 @@ func TestCacheMissThenHit(t *testing.T) {
 }
 
 func TestCacheServesStandbyReadsWithoutWake(t *testing.T) {
+	t.Parallel()
 	c, slow, eng := newCachePair(t, 16)
 	readAt(eng, c, 0, 4096) // populate while awake
 	slow.EnterStandby()
@@ -75,6 +77,7 @@ func TestCacheServesStandbyReadsWithoutWake(t *testing.T) {
 }
 
 func TestCacheSubBlockOffsetsHitSameBlock(t *testing.T) {
+	t.Parallel()
 	c, _, eng := newCachePair(t, 16)
 	readAt(eng, c, 0, 4096)
 	readAt(eng, c, 8192, 4096) // same 64 KiB block, different offset
@@ -84,6 +87,7 @@ func TestCacheSubBlockOffsetsHitSameBlock(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
+	t.Parallel()
 	c, _, eng := newCachePair(t, 2)
 	const block = 64 << 10
 	readAt(eng, c, 0*block, 4096)
@@ -105,6 +109,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheWriteInvalidates(t *testing.T) {
+	t.Parallel()
 	c, _, eng := newCachePair(t, 16)
 	readAt(eng, c, 0, 4096)
 	done := false
@@ -122,6 +127,7 @@ func TestCacheWriteInvalidates(t *testing.T) {
 }
 
 func TestCacheMultiBlockBypasses(t *testing.T) {
+	t.Parallel()
 	c, _, eng := newCachePair(t, 16)
 	const block = 64 << 10
 	done := false
@@ -137,6 +143,7 @@ func TestCacheMultiBlockBypasses(t *testing.T) {
 }
 
 func TestCacheValidation(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(13)
 	fast := catalog.NewSSD3(eng, rng.Stream("fast"))
@@ -153,6 +160,7 @@ func TestCacheValidation(t *testing.T) {
 }
 
 func TestCacheHitRate(t *testing.T) {
+	t.Parallel()
 	c, _, eng := newCachePair(t, 16)
 	if c.HitRate() != 0 {
 		t.Error("empty cache has nonzero hit rate")

@@ -11,6 +11,7 @@ import (
 )
 
 func TestGovernorStepsDownUnderLoad(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(23)
 	dev := catalog.NewSSD2(eng, rng)
@@ -49,6 +50,7 @@ func TestGovernorStepsDownUnderLoad(t *testing.T) {
 }
 
 func TestGovernorStepsBackUpWhenIdle(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(23)
 	dev := catalog.NewSSD2(eng, rng)
@@ -66,6 +68,7 @@ func TestGovernorStepsBackUpWhenIdle(t *testing.T) {
 }
 
 func TestGovernorRespectsStateCapWhenSteppingUp(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(23)
 	dev := catalog.NewSSD2(eng, rng)
@@ -86,6 +89,7 @@ func TestGovernorRespectsStateCapWhenSteppingUp(t *testing.T) {
 }
 
 func TestGovernorValidation(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(23)
 	hdd := catalog.NewHDD(eng, rng)
@@ -102,6 +106,7 @@ func TestGovernorValidation(t *testing.T) {
 }
 
 func TestGovernorStartStopIdempotent(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(23)
 	dev := catalog.NewSSD2(eng, rng)

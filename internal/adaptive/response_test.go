@@ -51,6 +51,7 @@ func buildRealFleet(t *testing.T, eng *sim.Engine, rng *sim.RNG) (*BudgetControl
 }
 
 func TestDemandResponseCompliesWithShrinkingBudget(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(17)
 	ctrl, devs := buildRealFleet(t, eng, rng)
@@ -91,6 +92,7 @@ func TestDemandResponseCompliesWithShrinkingBudget(t *testing.T) {
 }
 
 func TestDemandResponseValidation(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(17)
 	ctrl, devs := buildRealFleet(t, eng, rng)

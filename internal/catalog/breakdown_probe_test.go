@@ -13,6 +13,7 @@ import (
 // power during SSD1's headline random-write workload so calibration
 // drift is attributable.
 func TestSSD1Breakdown(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(7)
 	dev := NewSSD1(eng, rng)

@@ -55,6 +55,7 @@ func wantRange(t *testing.T, name string, got, lo, hi float64) {
 }
 
 func TestIdlePower(t *testing.T) {
+	t.Parallel()
 	// Table 1 floors / §3.2.2: SSD1 3.5 W, SSD2 5 W, SSD3 1 W,
 	// HDD 3.76 W spinning idle, EVO 0.35 W.
 	targets := map[string][2]float64{
@@ -74,6 +75,7 @@ func TestIdlePower(t *testing.T) {
 }
 
 func TestSSD2SequentialWriteUnderPowerStates(t *testing.T) {
+	t.Parallel()
 	// Fig. 4a: sequential write throughput in ps1 is ~74% of ps0 and in
 	// ps2 ~55% of ps0 (26% and then 45% drops).
 	bw := make([]float64, 3)
@@ -99,6 +101,7 @@ func TestSSD2SequentialWriteUnderPowerStates(t *testing.T) {
 }
 
 func TestSSD2SequentialReadBarelyCapped(t *testing.T) {
+	t.Parallel()
 	// Fig. 4b: capping ps0→ps1→ps2 causes minimal sequential-read drop.
 	bw := make([]float64, 3)
 	pw := make([]float64, 3)
@@ -120,6 +123,7 @@ func TestSSD2SequentialReadBarelyCapped(t *testing.T) {
 }
 
 func TestSSD2RandomWritePeakPower(t *testing.T) {
+	t.Parallel()
 	// Table 1: SSD2's measured range tops out at 15.1 W, reached on
 	// large-chunk random writes.
 	eng := sim.NewEngine()
@@ -131,6 +135,7 @@ func TestSSD2RandomWritePeakPower(t *testing.T) {
 }
 
 func TestSSD2RandomWriteLatencyUnderCap(t *testing.T) {
+	t.Parallel()
 	// Fig. 5: random-write latency at qd1, ps2 vs ps0: average up to
 	// ~2x, p99 up to ~6.2x at the largest chunks.
 	type lat struct{ avg, p99 time.Duration }
@@ -154,6 +159,7 @@ func TestSSD2RandomWriteLatencyUnderCap(t *testing.T) {
 }
 
 func TestSSD2RandomReadLatencyUnaffected(t *testing.T) {
+	t.Parallel()
 	// Fig. 6: reads at qd1 do not load the device enough to be capped;
 	// latency is flat across power states.
 	var lats [3]time.Duration
@@ -176,6 +182,7 @@ func TestSSD2RandomReadLatencyUnaffected(t *testing.T) {
 }
 
 func TestSSD1RandomWriteHeadline(t *testing.T) {
+	t.Parallel()
 	// §3.3: SSD1 at qd64 / 256 KiB random write delivers ~3.3 GiB/s at
 	// ~8.19 W; dropping to qd1 cuts power ~20% and throughput ~40%.
 	eng := sim.NewEngine()
@@ -197,6 +204,7 @@ func TestSSD1RandomWriteHeadline(t *testing.T) {
 }
 
 func TestSSD1InstantaneousSwing(t *testing.T) {
+	t.Parallel()
 	// Fig. 2a: SSD1's instantaneous power during random write swings
 	// well above its ~8.2 W average, up to ~13.5 W.
 	eng := sim.NewEngine()
@@ -218,6 +226,7 @@ func TestSSD1InstantaneousSwing(t *testing.T) {
 }
 
 func TestSSD3Range(t *testing.T) {
+	t.Parallel()
 	// Table 1: SSD3 measured 1-3.5 W; SATA-link-bound sequential IO.
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(7)
@@ -229,6 +238,7 @@ func TestSSD3Range(t *testing.T) {
 }
 
 func TestHDDSequentialThroughput(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(7)
 	dev := NewHDD(eng, rng)
@@ -242,6 +252,7 @@ func TestHDDSequentialThroughput(t *testing.T) {
 }
 
 func TestHDDRandomWriteSeekPower(t *testing.T) {
+	t.Parallel()
 	// Table 1: HDD active power reaches ~5.3 W on seek-heavy work.
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(7)
@@ -256,6 +267,7 @@ func TestHDDRandomWriteSeekPower(t *testing.T) {
 }
 
 func TestHDDStandbyPower(t *testing.T) {
+	t.Parallel()
 	// §3.2.2: standby 1.1 W vs 3.76 W idle, saving 2.66 W; spin-down
 	// plus spin-up is on the order of ten seconds.
 	eng := sim.NewEngine()
@@ -280,6 +292,7 @@ func TestHDDStandbyPower(t *testing.T) {
 }
 
 func TestEVOSlumber(t *testing.T) {
+	t.Parallel()
 	// §3.2.2 / Fig. 7: ALPM SLUMBER cuts the EVO from 0.35 W idle to
 	// 0.17 W, transitioning within half a second.
 	eng := sim.NewEngine()
@@ -298,6 +311,7 @@ func TestEVOSlumber(t *testing.T) {
 }
 
 func TestHDDSeekPeakPower(t *testing.T) {
+	t.Parallel()
 	// Table 1: the HDD's ~5.3 W ceiling comes from seek-dominated work:
 	// small random reads that keep the actuator moving.
 	eng := sim.NewEngine()
@@ -313,6 +327,7 @@ func TestHDDSeekPeakPower(t *testing.T) {
 }
 
 func TestDeterministicEnergyAcrossRuns(t *testing.T) {
+	t.Parallel()
 	// Bit-identical reproducibility is a core promise: same seed, same
 	// workload → identical energy and throughput.
 	run := func() (float64, float64) {
@@ -333,6 +348,7 @@ func TestDeterministicEnergyAcrossRuns(t *testing.T) {
 }
 
 func TestSeedChangesOutcome(t *testing.T) {
+	t.Parallel()
 	run := func(seed uint64) float64 {
 		eng := sim.NewEngine()
 		rng := sim.NewRNG(seed)
@@ -349,6 +365,7 @@ func TestSeedChangesOutcome(t *testing.T) {
 }
 
 func TestEVOActivePerformance(t *testing.T) {
+	t.Parallel()
 	// The 860 EVO model stays a plausible SATA SSD even though the
 	// paper only uses it for standby: ~500 MB/s sequential, ~2.5 W.
 	eng := sim.NewEngine()
@@ -363,6 +380,7 @@ func TestEVOActivePerformance(t *testing.T) {
 }
 
 func TestSSD3ReadPath(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(7)
 	dev := NewSSD3(eng, rng)
@@ -375,6 +393,7 @@ func TestSSD3ReadPath(t *testing.T) {
 }
 
 func TestCatalogNamesResolve(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(1)
 	for _, name := range Names() {
@@ -393,6 +412,7 @@ func TestCatalogNamesResolve(t *testing.T) {
 }
 
 func TestC960AutonomousIdle(t *testing.T) {
+	t.Parallel()
 	// Extension device: the client 960 EVO (the paper's ref [25]) idles
 	// itself down via APST to about one-tenth of operational idle.
 	eng := sim.NewEngine()
@@ -420,6 +440,7 @@ func TestC960AutonomousIdle(t *testing.T) {
 // idle state, sum-of-components], and the event queue fully drains (no
 // leaked timers).
 func TestDeviceConformance(t *testing.T) {
+	t.Parallel()
 	for _, name := range Names() {
 		t.Run(name, func(t *testing.T) {
 			eng := sim.NewEngine()

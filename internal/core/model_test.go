@@ -33,6 +33,7 @@ func testModel(t *testing.T) *Model {
 }
 
 func TestNewModelValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewModel("D", nil); err == nil {
 		t.Error("empty model accepted")
 	}
@@ -48,6 +49,7 @@ func TestNewModelValidation(t *testing.T) {
 }
 
 func TestModelExtremes(t *testing.T) {
+	t.Parallel()
 	m := testModel(t)
 	if m.MaxPowerW() != 8.4 || m.MinPowerW() != 5.2 {
 		t.Errorf("power extremes = %v/%v, want 5.2/8.4", m.MinPowerW(), m.MaxPowerW())
@@ -62,6 +64,7 @@ func TestModelExtremes(t *testing.T) {
 }
 
 func TestNormalized(t *testing.T) {
+	t.Parallel()
 	m := testModel(t)
 	pts := m.Normalized()
 	var sawUnitPower, sawUnitTput bool
@@ -82,6 +85,7 @@ func TestNormalized(t *testing.T) {
 }
 
 func TestParetoFrontier(t *testing.T) {
+	t.Parallel()
 	m := testModel(t)
 	fr := m.ParetoFrontier()
 	if len(fr) == 0 {
@@ -106,6 +110,7 @@ func TestParetoFrontier(t *testing.T) {
 
 // Property: no frontier point is dominated by any sample.
 func TestParetoFrontierProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw []struct{ P, T uint16 }) bool {
 		if len(raw) == 0 {
 			return true
@@ -133,6 +138,7 @@ func TestParetoFrontierProperty(t *testing.T) {
 }
 
 func TestBestUnderPower(t *testing.T) {
+	t.Parallel()
 	m := testModel(t)
 	best, ok := m.BestUnderPower(7.0)
 	if !ok {
@@ -147,6 +153,7 @@ func TestBestUnderPower(t *testing.T) {
 }
 
 func TestMinPowerMeeting(t *testing.T) {
+	t.Parallel()
 	m := testModel(t)
 	best, ok := m.MinPowerMeeting(2000)
 	if !ok {
@@ -161,6 +168,7 @@ func TestMinPowerMeeting(t *testing.T) {
 }
 
 func TestCurtail(t *testing.T) {
+	t.Parallel()
 	m := testModel(t)
 	from, _ := m.BestUnderPower(8.2)
 	plan, err := m.Curtail(from, 0.20)
@@ -179,6 +187,7 @@ func TestCurtail(t *testing.T) {
 }
 
 func TestCurtailValidation(t *testing.T) {
+	t.Parallel()
 	m := testModel(t)
 	from, _ := m.BestUnderPower(9)
 	if _, err := m.Curtail(from, 0); err == nil {
@@ -193,6 +202,7 @@ func TestCurtailValidation(t *testing.T) {
 }
 
 func TestFilter(t *testing.T) {
+	t.Parallel()
 	m := testModel(t)
 	ps2, err := m.Filter(func(x Sample) bool { return x.PowerState == 2 })
 	if err != nil {
@@ -207,6 +217,7 @@ func TestFilter(t *testing.T) {
 }
 
 func TestConfigString(t *testing.T) {
+	t.Parallel()
 	c := Config{Device: "SSD2", PowerState: 1, Random: true, Write: true, ChunkBytes: 256 * 1024, Depth: 64}
 	if got := c.String(); got != "SSD2/ps1/randwrite-256KiB-qd64" {
 		t.Errorf("String = %q", got)
@@ -218,6 +229,7 @@ func TestConfigString(t *testing.T) {
 }
 
 func TestFleetFrontier(t *testing.T) {
+	t.Parallel()
 	a, _ := NewModel("A", []Sample{
 		s("A", 0, 4, 1, 2, 100),
 		s("A", 0, 4, 64, 4, 400),
@@ -249,6 +261,7 @@ func TestFleetFrontier(t *testing.T) {
 }
 
 func TestFleetBestUnderPower(t *testing.T) {
+	t.Parallel()
 	a, _ := NewModel("A", []Sample{s("A", 0, 4, 1, 2, 100), s("A", 0, 4, 64, 4, 400)})
 	b, _ := NewModel("B", []Sample{s("B", 0, 4, 1, 3, 50), s("B", 0, 4, 64, 5, 500)})
 	f, _ := NewFleet(a, b)
@@ -262,6 +275,7 @@ func TestFleetBestUnderPower(t *testing.T) {
 }
 
 func TestFleetMinPowerMeeting(t *testing.T) {
+	t.Parallel()
 	a, _ := NewModel("A", []Sample{s("A", 0, 4, 1, 2, 100), s("A", 0, 4, 64, 4, 400)})
 	b, _ := NewModel("B", []Sample{s("B", 0, 4, 1, 3, 50), s("B", 0, 4, 64, 5, 500)})
 	f, _ := NewFleet(a, b)
@@ -275,6 +289,7 @@ func TestFleetMinPowerMeeting(t *testing.T) {
 }
 
 func TestFleetValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewFleet(); err == nil {
 		t.Error("empty fleet accepted")
 	}
@@ -287,6 +302,7 @@ func TestFleetValidation(t *testing.T) {
 
 // Property: fleet frontier is sorted and non-dominated.
 func TestFleetFrontierProperty(t *testing.T) {
+	t.Parallel()
 	f := func(pa, pb []struct{ P, T uint8 }) bool {
 		if len(pa) == 0 || len(pb) == 0 {
 			return true
@@ -322,6 +338,7 @@ func TestFleetFrontierProperty(t *testing.T) {
 // Cross-check: the pruned pairwise fleet frontier must agree with a
 // brute-force enumeration of the full configuration cross-product.
 func TestFleetFrontierMatchesBruteForce(t *testing.T) {
+	t.Parallel()
 	f := func(pa, pb, pc []struct{ P, T uint8 }) bool {
 		if len(pa) == 0 || len(pb) == 0 || len(pc) == 0 {
 			return true

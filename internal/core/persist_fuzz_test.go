@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzModelRoundTrip feeds arbitrary bytes to Load; whenever they parse
+// as a model, the persist cycle must be a fixed point: Save→Load→Save
+// reproduces the same bytes and the same model. This pins the format
+// against lossy field mappings and validation that accepts what Save
+// then cannot re-emit.
+func FuzzModelRoundTrip(f *testing.F) {
+	seed, err := NewModel("SSD2", []Sample{
+		{
+			Config:         Config{Device: "SSD2", PowerState: 2, Random: true, Write: true, ChunkBytes: 256 << 10, Depth: 64},
+			PowerW:         10.05,
+			ThroughputMBps: 1834.7,
+			AvgLat:         913 * time.Microsecond,
+			P99Lat:         8200 * time.Microsecond,
+		},
+		{
+			Config:         Config{Device: "SSD2", ChunkBytes: 4 << 10, Depth: 1},
+			PowerW:         5.2,
+			ThroughputMBps: 88.1,
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := seed.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"device":"d","samples":[{"chunk_bytes":512,"depth":1,"power_w":1,"mbps":0}]}`))
+	f.Add([]byte(`{"version":2,"device":"d","samples":[]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m1, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // invalid inputs must be rejected, not crash
+		}
+		var s1 bytes.Buffer
+		if err := m1.Save(&s1); err != nil {
+			t.Fatalf("loaded model fails Save: %v", err)
+		}
+		m2, err := Load(bytes.NewReader(s1.Bytes()))
+		if err != nil {
+			t.Fatalf("Save output fails Load: %v\n%s", err, s1.Bytes())
+		}
+		if !reflect.DeepEqual(m1, m2) {
+			t.Errorf("model changed across Save/Load:\nfirst:  %#v\nsecond: %#v", m1, m2)
+		}
+		var s2 bytes.Buffer
+		if err := m2.Save(&s2); err != nil {
+			t.Fatalf("reloaded model fails Save: %v", err)
+		}
+		if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+			t.Errorf("persisted bytes not a fixed point:\nfirst:\n%s\nsecond:\n%s", s1.Bytes(), s2.Bytes())
+		}
+	})
+}

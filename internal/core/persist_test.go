@@ -8,6 +8,7 @@ import (
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
+	t.Parallel()
 	orig := testModel(t)
 	var buf bytes.Buffer
 	if err := orig.Save(&buf); err != nil {
@@ -35,6 +36,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestSaveLoadPreservesLatency(t *testing.T) {
+	t.Parallel()
 	m, _ := NewModel("D", []Sample{latSample(1, 7, 2500, 1200*time.Microsecond, 3*time.Millisecond)})
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {
@@ -51,6 +53,7 @@ func TestSaveLoadPreservesLatency(t *testing.T) {
 }
 
 func TestLoadRejectsBadInput(t *testing.T) {
+	t.Parallel()
 	cases := map[string]string{
 		"garbage":       "not json",
 		"wrong version": `{"version": 99, "device": "D", "samples": [{"power_w": 1, "mbps": 1}]}`,

@@ -28,6 +28,7 @@ func sloModel(t *testing.T) *Model {
 }
 
 func TestSLOMeets(t *testing.T) {
+	t.Parallel()
 	x := latSample(0, 8, 3500, time.Millisecond, 2*time.Millisecond)
 	cases := []struct {
 		slo  SLO
@@ -48,6 +49,7 @@ func TestSLOMeets(t *testing.T) {
 }
 
 func TestBestUnderPowerSLO(t *testing.T) {
+	t.Parallel()
 	m := sloModel(t)
 	// Budget 7 W with a p99 SLO of 5 ms: the ps1 point qualifies, the
 	// ps2/1900 point (12 ms tail) does not.
@@ -69,6 +71,7 @@ func TestBestUnderPowerSLO(t *testing.T) {
 }
 
 func TestMinPowerSLO(t *testing.T) {
+	t.Parallel()
 	m := sloModel(t)
 	best, ok := m.MinPowerSLO(SLO{MinMBps: 2000, MaxP99Lat: 5 * time.Millisecond})
 	if !ok || best.PowerW != 7.0 {
@@ -80,6 +83,7 @@ func TestMinPowerSLO(t *testing.T) {
 }
 
 func TestPowerLatencyFrontier(t *testing.T) {
+	t.Parallel()
 	m := sloModel(t)
 	fr := m.PowerLatencyFrontier()
 	if len(fr) == 0 {
@@ -102,6 +106,7 @@ func TestPowerLatencyFrontier(t *testing.T) {
 }
 
 func TestPowerLatencyFrontierSkipsNoLatency(t *testing.T) {
+	t.Parallel()
 	m, _ := NewModel("D", []Sample{
 		s("D", 0, 4, 1, 5, 100), // no latency data
 		latSample(0, 6, 200, time.Millisecond, 2*time.Millisecond),
@@ -114,6 +119,7 @@ func TestPowerLatencyFrontierSkipsNoLatency(t *testing.T) {
 
 // Property: no frontier point is dominated in (power, p99).
 func TestPowerLatencyFrontierProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw []struct{ P, L uint16 }) bool {
 		if len(raw) == 0 {
 			return true
@@ -141,6 +147,7 @@ func TestPowerLatencyFrontierProperty(t *testing.T) {
 }
 
 func TestSLOString(t *testing.T) {
+	t.Parallel()
 	if got := (SLO{}).String(); got != "unconstrained" {
 		t.Errorf("empty SLO = %q", got)
 	}

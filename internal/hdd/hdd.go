@@ -12,6 +12,7 @@ import (
 	"wattio/internal/device"
 	"wattio/internal/power"
 	"wattio/internal/sim"
+	"wattio/internal/telemetry"
 )
 
 // Config describes one HDD model. The catalog package provides the
@@ -124,6 +125,23 @@ type HDD struct {
 	pendingIOs []pendingIO // IOs arrived while spun down / spinning up
 
 	revolution time.Duration
+
+	// Telemetry. All handles are nil-safe no-ops when the engine has no
+	// telemetry attached.
+	tr       *telemetry.Tracer
+	laneHead string
+	lane     string
+	taps     taps
+}
+
+// taps holds the device's metric handles, fetched once at construction.
+type taps struct {
+	seeks      *telemetry.Counter
+	seekNs     *telemetry.Histogram
+	queueDepth *telemetry.Gauge
+	drains     *telemetry.Counter
+	spinDowns  *telemetry.Counter
+	spinUps    *telemetry.Counter
 }
 
 type cacheWaiter struct {
@@ -153,6 +171,21 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*HDD, error) {
 	d.cSeek = d.meter.AddComponent("actuator", 0)
 	d.cXfer = d.meter.AddComponent("media", 0)
 	d.cIface = d.meter.AddComponent("interface", 0)
+
+	reg := eng.Metrics()
+	d.taps = taps{
+		seeks:      reg.Counter("hdd_seeks_total"),
+		seekNs:     reg.Histogram("hdd_seek_ns"),
+		queueDepth: reg.Gauge("hdd_queue_depth"),
+		drains:     reg.Counter("hdd_cache_drains_total"),
+		spinDowns:  reg.Counter("hdd_spin_downs_total"),
+		spinUps:    reg.Counter("hdd_spin_ups_total"),
+	}
+	d.tr = eng.Tracer()
+	if d.tr.Enabled() {
+		d.lane = cfg.Name
+		d.laneHead = cfg.Name + "/head"
+	}
 	return d, nil
 }
 
@@ -197,3 +230,10 @@ func (d *HDD) Settled() bool { return d.spin == spinning || d.spin == spunDown }
 
 // DirtyBytes returns bytes in the write cache not yet on media.
 func (d *HDD) DirtyBytes() int64 { return d.dirty }
+
+// EnergyComponents returns the per-component accounted energies in
+// joules up to the current virtual time. The components partition
+// EnergyJ; the telemetry energy-conservation probe checks that.
+func (d *HDD) EnergyComponents() (names []string, joules []float64) {
+	return d.meter.Names(), d.meter.EnergyBreakdown(d.eng.Now())
+}

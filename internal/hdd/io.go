@@ -36,6 +36,7 @@ func (d *HDD) begin(r device.Request, done func()) {
 	d.eng.Schedule(end, func() {
 		if r.Op == device.OpRead {
 			d.queue = append(d.queue, access{r.Offset, r.Size, true, done})
+			d.taps.queueDepth.Set(int64(len(d.queue)))
 			d.kick()
 		} else {
 			d.write(r, done)
@@ -55,6 +56,7 @@ func (d *HDD) write(r device.Request, done func()) {
 			d.meter.Set(d.cIface, 0, d.eng.Now())
 			done()
 			d.queue = append(d.queue, access{r.Offset, r.Size, false, nil})
+			d.taps.queueDepth.Set(int64(len(d.queue)))
 			d.kick()
 		})
 	}
@@ -78,6 +80,7 @@ func (d *HDD) kick() {
 	idx := d.pick()
 	a := d.queue[idx]
 	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+	d.taps.queueDepth.Set(int64(len(d.queue)))
 	d.headBusy = true
 	d.service(a)
 }
@@ -118,10 +121,20 @@ func (d *HDD) service(a access) {
 	xfer := d.mediaTime(a.offset, a.size)
 
 	if seek > 0 {
+		d.taps.seeks.Inc()
+		d.taps.seekNs.Observe(int64(seek))
+		d.tr.Span(d.laneHead, "hdd", "seek", now, now+seek)
 		d.meter.Set(d.cSeek, d.cfg.PSeek, now)
 		d.eng.After(seek, func() { d.meter.Set(d.cSeek, 0, d.eng.Now()) })
 	}
 	xferStart := now + seek + rot
+	if d.tr.Enabled() {
+		name := "drain"
+		if a.read {
+			name = "read"
+		}
+		d.tr.Span(d.laneHead, "hdd", name, xferStart, xferStart+xfer)
+	}
 	d.eng.Schedule(xferStart, func() { d.meter.Set(d.cXfer, d.cfg.PXfer, d.eng.Now()) })
 	d.eng.Schedule(xferStart+xfer, func() {
 		t := d.eng.Now()
@@ -146,6 +159,7 @@ func (d *HDD) service(a access) {
 
 // drainComplete returns cache space and admits blocked writes FIFO.
 func (d *HDD) drainComplete(bytes int64) {
+	d.taps.drains.Inc()
 	d.dirty -= bytes
 	if d.dirty < 0 {
 		panic("hdd: cache over-drained")
@@ -204,6 +218,8 @@ func (d *HDD) maybeFinishFlush() {
 	}
 	now := d.eng.Now()
 	d.spin = spinningDown
+	d.taps.spinDowns.Inc()
+	d.tr.Instant(d.lane, "hdd", "spin_down", now)
 	d.meter.Set(d.cSpindle, d.cfg.PSpinDown-d.cfg.PElec, now)
 	d.eng.After(d.cfg.TSpinDown, func() {
 		if d.spin != spinningDown {
@@ -228,6 +244,8 @@ func (d *HDD) Wake() error {
 	}
 	now := d.eng.Now()
 	d.spin = spinningUp
+	d.taps.spinUps.Inc()
+	d.tr.Instant(d.lane, "hdd", "spin_up", now)
 	d.meter.Set(d.cElec, d.cfg.PElec, now)
 	d.meter.Set(d.cSpindle, d.cfg.PSpinUp-d.cfg.PElec, now)
 	d.eng.After(d.cfg.TSpinUp, func() {

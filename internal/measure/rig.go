@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wattio/internal/sim"
+	"wattio/internal/telemetry"
 	"wattio/internal/trace"
 )
 
@@ -68,6 +69,12 @@ type Rig struct {
 	tick      *sim.Timer
 	FramesOK  int
 	FramesBad int
+
+	// Telemetry. Nil-safe no-ops when the engine has none attached.
+	tracer     *telemetry.Tracer
+	cSamples   *telemetry.Counter
+	cFramesOK  *telemetry.Counter
+	cFramesBad *telemetry.Counter
 }
 
 // NewRig assembles a measurement channel on src and calibrates it
@@ -91,6 +98,11 @@ func NewRig(eng *sim.Engine, rng *sim.RNG, src PowerSource, cfg RigConfig) (*Rig
 		adc:   NewADS1256(),
 		wire:  r.Stream("wire"),
 		tr:    &trace.PowerTrace{},
+
+		tracer:     eng.Tracer(),
+		cSamples:   eng.Metrics().Counter("rig_samples_total"),
+		cFramesOK:  eng.Metrics().Counter("rig_frames_ok_total"),
+		cFramesBad: eng.Metrics().Counter("rig_frames_bad_total"),
 	}
 	// Two-point calibration with dummy loads at 5% and 80% of the
 	// channel's full-scale power (the power at which the amplifier
@@ -185,10 +197,15 @@ func (r *Rig) flush() {
 	f, _, err := DecodeFrame(wire)
 	if err != nil {
 		r.FramesBad++
+		r.cFramesBad.Inc()
 	} else {
 		r.FramesOK++
+		r.cFramesOK.Inc()
+		r.cSamples.Add(int64(len(f.Codes)))
 		for i, code := range f.Codes {
-			r.tr.Append(r.batchT[i], r.Watts(code))
+			w := r.Watts(code)
+			r.tr.Append(r.batchT[i], w)
+			r.tracer.Counter("power_w", r.batchT[i], w)
 		}
 	}
 	r.batch = r.batch[:0]

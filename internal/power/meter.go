@@ -26,6 +26,14 @@ type Meter struct {
 	total  float64
 	energy float64 // joules accumulated up to last
 	last   time.Duration
+
+	// Per-component energy is integrated lazily: each component's
+	// accumulator advances only when that component changes (or on an
+	// explicit EnergyBreakdown read), keeping Set O(1). The invariant
+	// sum(compEnergy) + pending == energy is what the telemetry
+	// energy-conservation probe checks.
+	compEnergy []float64
+	compLast   []time.Duration
 }
 
 // NewMeter returns an empty meter with the clock at t0.
@@ -38,6 +46,8 @@ func NewMeter(t0 time.Duration) *Meter {
 func (m *Meter) AddComponent(name string, w float64) Component {
 	m.names = append(m.names, name)
 	m.watts = append(m.watts, w)
+	m.compEnergy = append(m.compEnergy, 0)
+	m.compLast = append(m.compLast, m.last)
 	m.total += w
 	return Component(len(m.watts) - 1)
 }
@@ -47,6 +57,12 @@ func (m *Meter) AddComponent(name string, w float64) Component {
 // of co-timed updates does not change the integral.
 func (m *Meter) Set(c Component, w float64, now time.Duration) {
 	m.integrate(now)
+	// Components spend much of their life at zero draw (idle dies), and
+	// co-timed updates are common; skip the integration arithmetic then.
+	if dt := now - m.compLast[c]; dt != 0 && m.watts[c] != 0 {
+		m.compEnergy[c] += m.watts[c] * dt.Seconds()
+	}
+	m.compLast[c] = now
 	m.total += w - m.watts[c]
 	m.watts[c] = w
 }
@@ -83,5 +99,29 @@ func (m *Meter) integrate(now time.Duration) {
 func (m *Meter) Breakdown() []float64 {
 	out := make([]float64, len(m.watts))
 	copy(out, m.watts)
+	return out
+}
+
+// EnergyBreakdown returns the per-component energies in joules consumed
+// up to now, index-aligned with the handles returned by AddComponent.
+// The components partition the meter's total: sum(EnergyBreakdown) ==
+// Energy up to floating-point error — the invariant the telemetry
+// energy-conservation probe relies on.
+func (m *Meter) EnergyBreakdown(now time.Duration) []float64 {
+	m.integrate(now)
+	out := make([]float64, len(m.watts))
+	for c := range m.watts {
+		m.compEnergy[c] += m.watts[c] * (now - m.compLast[c]).Seconds()
+		m.compLast[c] = now
+		out[c] = m.compEnergy[c]
+	}
+	return out
+}
+
+// Names returns the registered component names, index-aligned with
+// Breakdown and EnergyBreakdown.
+func (m *Meter) Names() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
 	return out
 }

@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"wattio/internal/telemetry"
 )
 
 // Engine is a discrete-event scheduler over virtual time.
@@ -23,12 +25,46 @@ type Engine struct {
 	now time.Duration
 	pq  eventHeap
 	seq uint64
+
+	// Telemetry taps. All are nil-safe no-ops when telemetry is off,
+	// so the hot path pays one predicted branch per call.
+	metrics  *telemetry.Registry
+	tracer   *telemetry.Tracer
+	cEvents  *telemetry.Counter
+	cStopped *telemetry.Counter
+	gHeap    *telemetry.Gauge
 }
 
-// NewEngine returns an Engine with the clock at zero and no pending events.
+// NewEngine returns an Engine with the clock at zero and no pending
+// events, tapped into the process-default telemetry (telemetry.Default)
+// if one is installed.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.EnableTelemetry(telemetry.Default(), telemetry.DefaultTracer())
+	return e
 }
+
+// EnableTelemetry attaches a metrics registry and a tracer to the
+// engine (either may be nil). Devices and workloads read these at
+// construction time via Metrics and Tracer, so call it before building
+// the testbed on the engine.
+func (e *Engine) EnableTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	e.metrics = reg
+	e.tracer = tr
+	e.cEvents = reg.Counter("sim_events_dispatched_total")
+	e.cStopped = reg.Counter("sim_events_stopped_total")
+	e.gHeap = reg.Gauge("sim_heap_depth")
+}
+
+// Metrics returns the engine's metrics registry; nil when telemetry is
+// disabled (handles from a nil registry are no-ops, so callers may use
+// the result unconditionally).
+func (e *Engine) Metrics() *telemetry.Registry { return e.metrics }
+
+// Tracer returns the engine's event tracer; nil when tracing is
+// disabled (a nil tracer discards events, so callers may use the
+// result unconditionally).
+func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
@@ -67,6 +103,7 @@ func (e *Engine) Schedule(at time.Duration, fn func()) *Timer {
 	t := &Timer{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.pq, t)
+	e.gHeap.Set(int64(len(e.pq)))
 	return t
 }
 
@@ -84,9 +121,19 @@ func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
 		t := heap.Pop(&e.pq).(*Timer)
 		if t.stopped {
+			e.cStopped.Inc()
 			continue
 		}
+		// The virtual clock is monotone by construction (Schedule rejects
+		// the past, the heap orders by time); this check turns any future
+		// violation of that invariant into a loud failure rather than a
+		// silently corrupted energy integral.
+		if t.at < e.now {
+			panic(fmt.Sprintf("sim: clock would go backward: event at %v, now %v", t.at, e.now))
+		}
 		e.now = t.at
+		e.cEvents.Inc()
+		e.gHeap.Set(int64(len(e.pq)))
 		t.fn()
 		return true
 	}

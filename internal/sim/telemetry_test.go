@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"wattio/internal/telemetry"
+)
+
+func TestEngineTelemetryTaps(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	eng := NewEngine()
+	eng.EnableTelemetry(reg, nil)
+	if eng.Metrics() != reg {
+		t.Fatal("Metrics accessor lost the registry")
+	}
+
+	fired := 0
+	for i := 0; i < 5; i++ {
+		eng.After(time.Duration(i+1)*time.Millisecond, func() { fired++ })
+	}
+	stop := eng.After(10*time.Millisecond, func() { t.Error("stopped timer fired") })
+	stop.Stop()
+
+	if got := reg.Gauge("sim_heap_depth").Max(); got != 6 {
+		t.Errorf("heap depth high-water %d, want 6", got)
+	}
+	eng.Run()
+	if fired != 5 {
+		t.Fatalf("fired %d, want 5", fired)
+	}
+	if got := reg.Counter("sim_events_dispatched_total").Value(); got != 5 {
+		t.Errorf("events dispatched %d, want 5", got)
+	}
+	if got := reg.Counter("sim_events_stopped_total").Value(); got != 1 {
+		t.Errorf("events stopped %d, want 1", got)
+	}
+}
+
+// TestEngineWithoutTelemetry pins the disabled path: a plain engine has
+// nil telemetry and dispatch still works (the taps are no-ops).
+func TestEngineWithoutTelemetry(t *testing.T) {
+	t.Parallel()
+	eng := NewEngine()
+	if eng.Metrics() != nil && telemetry.Default() == nil {
+		t.Fatal("engine invented a registry")
+	}
+	ran := false
+	eng.After(time.Millisecond, func() { ran = true })
+	eng.Run()
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+}

@@ -34,9 +34,15 @@ func (d *SSD) admit(energy float64) time.Duration {
 	now := d.eng.Now()
 	delay := d.reg.Admit(now, energy)
 	ready := now + delay
-	if delay > 0 && d.cfg.ThrottleQuantum > 0 {
-		q := d.cfg.ThrottleQuantum
-		ready = (ready + q - 1) / q * q
+	if delay > 0 {
+		d.taps.stalls.Inc()
+		if d.cfg.ThrottleQuantum > 0 {
+			q := d.cfg.ThrottleQuantum
+			ready = (ready + q - 1) / q * q
+			d.taps.throttleRels.Inc()
+			d.tr.Instant(d.lane, "ssd", "throttle_release", ready)
+		}
+		d.taps.stallNs.Observe(int64(ready - now))
 	}
 	return max(ready, d.stateReadyAt)
 }
@@ -139,6 +145,8 @@ func (d *SSD) spawnPrograms(hostBytes, ampBytes int64) {
 	if d.hostPending > 0 || d.ampPending > 0 {
 		d.flushTimer = d.eng.After(10*time.Millisecond, func() {
 			d.flushTimer = nil
+			d.taps.pageFlushes.Inc()
+			d.tr.Instant(d.lane, "ssd", "open_page_flush", d.eng.Now())
 			if d.hostPending > 0 {
 				d.programPage(d.hostPending)
 				d.hostPending = 0
@@ -162,8 +170,16 @@ func (d *SSD) programPage(release int64) {
 	end := start + d.cfg.TProg + d.pageXfer
 	d.dieFreeAt[die] = end
 	c := d.cDies[die]
-	d.eng.Schedule(start, func() { d.meter.Set(c, d.pProgEff, d.eng.Now()) })
+	d.taps.pagePrograms.Inc()
+	if d.tr.Enabled() {
+		d.tr.Span(d.laneDies[die], "ssd", "program", start, end)
+	}
+	d.eng.Schedule(start, func() {
+		d.taps.diesBusy.Add(1)
+		d.meter.Set(c, d.pProgEff, d.eng.Now())
+	})
 	d.eng.Schedule(end, func() {
+		d.taps.diesBusy.Add(-1)
 		d.meter.Set(c, 0, d.eng.Now())
 		if release > 0 {
 			d.releaseBuffer(release)
@@ -196,8 +212,16 @@ func (d *SSD) readPath(r device.Request, done func()) {
 		end := start + opDur
 		d.dieFreeAt[die] = end
 		c := d.cDies[die]
-		d.eng.Schedule(start, func() { d.meter.Set(c, d.pReadEff, d.eng.Now()) })
+		d.taps.pageReads.Inc()
+		if d.tr.Enabled() {
+			d.tr.Span(d.laneDies[die], "ssd", "read", start, end)
+		}
+		d.eng.Schedule(start, func() {
+			d.taps.diesBusy.Add(1)
+			d.meter.Set(c, d.pReadEff, d.eng.Now())
+		})
 		d.eng.Schedule(end, func() {
+			d.taps.diesBusy.Add(-1)
 			d.meter.Set(c, 0, d.eng.Now())
 			remaining--
 			if remaining == 0 {

@@ -7,6 +7,7 @@ import (
 	"wattio/internal/device"
 	"wattio/internal/power"
 	"wattio/internal/sim"
+	"wattio/internal/telemetry"
 )
 
 // mode is the device's standby state machine.
@@ -75,6 +76,26 @@ type SSD struct {
 	eProg    float64 // regulated energy per page program
 	pReadEff float64 // effective die power during a read op
 	pProgEff float64 // effective die power during a program op
+
+	// Telemetry. All handles are nil-safe no-ops when the engine has no
+	// telemetry attached.
+	tr       *telemetry.Tracer
+	laneDies []string // tracer lane per die
+	lane     string   // tracer lane for device-level instants
+	taps     taps
+}
+
+// taps holds the device's metric handles, fetched once at construction.
+type taps struct {
+	stalls       *telemetry.Counter
+	stallNs      *telemetry.Histogram
+	throttleRels *telemetry.Counter
+	pageFlushes  *telemetry.Counter
+	diesBusy     *telemetry.Gauge
+	pagePrograms *telemetry.Counter
+	pageReads    *telemetry.Counter
+	standbys     *telemetry.Counter
+	wakes        *telemetry.Counter
 }
 
 type bufWaiter struct {
@@ -112,6 +133,27 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*SSD, error) {
 	d.dieFreeAt = make([]time.Duration, n)
 	for i := range d.cDies {
 		d.cDies[i] = d.meter.AddComponent(fmt.Sprintf("die%d", i), 0)
+	}
+
+	reg := eng.Metrics()
+	d.taps = taps{
+		stalls:       reg.Counter("ssd_regulator_stalls_total"),
+		stallNs:      reg.Histogram("ssd_regulator_stall_ns"),
+		throttleRels: reg.Counter("ssd_throttle_releases_total"),
+		pageFlushes:  reg.Counter("ssd_open_page_flushes_total"),
+		diesBusy:     reg.Gauge("ssd_dies_busy"),
+		pagePrograms: reg.Counter("ssd_page_programs_total"),
+		pageReads:    reg.Counter("ssd_page_reads_total"),
+		standbys:     reg.Counter("ssd_standby_enters_total"),
+		wakes:        reg.Counter("ssd_wakes_total"),
+	}
+	d.tr = eng.Tracer()
+	if d.tr.Enabled() {
+		d.lane = cfg.Name
+		d.laneDies = make([]string, n)
+		for i := range d.laneDies {
+			d.laneDies[i] = fmt.Sprintf("%s/die%d", cfg.Name, i)
+		}
 	}
 
 	d.pageXfer = time.Duration(float64(cfg.PageSize) / (cfg.ChannelMBps * 1e6) * float64(time.Second))
@@ -152,6 +194,13 @@ func (d *SSD) InstantPower() float64 { return d.meter.Instant(d.eng.Now()) }
 
 // EnergyJ implements device.Device.
 func (d *SSD) EnergyJ() float64 { return d.meter.Energy(d.eng.Now()) }
+
+// EnergyComponents returns the per-component accounted energies in
+// joules up to the current virtual time. The components partition
+// EnergyJ; the telemetry energy-conservation probe checks that.
+func (d *SSD) EnergyComponents() (names []string, joules []float64) {
+	return d.meter.Names(), d.meter.EnergyBreakdown(d.eng.Now())
+}
 
 // PowerBreakdown returns the instantaneous draw of each electrical
 // component, with per-die draws folded into one "dies" entry.
@@ -221,6 +270,8 @@ func (d *SSD) EnterStandby() error {
 	d.stopAPSTTimer()
 	now := d.eng.Now()
 	d.mode = entering
+	d.taps.standbys.Inc()
+	d.tr.Instant(d.lane, "ssd", "standby_enter", now)
 	d.meter.Set(d.cTrans, d.cfg.PStandbyEnter-d.cfg.IdleFloorW(), now)
 	d.eng.After(d.cfg.StandbyEnter, func() {
 		if d.mode != entering {
@@ -261,6 +312,8 @@ func (d *SSD) Wake() error {
 func (d *SSD) startWake() {
 	now := d.eng.Now()
 	d.mode = waking
+	d.taps.wakes.Inc()
+	d.tr.Instant(d.lane, "ssd", "wake", now)
 	d.meter.Set(d.cCtrl, d.cfg.PController, now)
 	d.meter.Set(d.cTrans, d.cfg.PStandbyExit-d.cfg.IdleFloorW(), now)
 	d.eng.After(d.cfg.StandbyExit, func() {

@@ -8,6 +8,7 @@ import (
 )
 
 func TestSummarizeKnownValues(t *testing.T) {
+	t.Parallel()
 	xs := []float64{4, 1, 3, 2, 5}
 	s := Summarize(xs)
 	if s.N != 5 {
@@ -29,6 +30,7 @@ func TestSummarizeKnownValues(t *testing.T) {
 }
 
 func TestSummarizeEmpty(t *testing.T) {
+	t.Parallel()
 	s := Summarize(nil)
 	if s.N != 0 || s.Mean != 0 {
 		t.Errorf("empty summary = %+v, want zero value", s)
@@ -36,6 +38,7 @@ func TestSummarizeEmpty(t *testing.T) {
 }
 
 func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	t.Parallel()
 	xs := []float64{3, 1, 2}
 	Summarize(xs)
 	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
@@ -44,6 +47,7 @@ func TestSummarizeDoesNotMutateInput(t *testing.T) {
 }
 
 func TestQuantileEndpoints(t *testing.T) {
+	t.Parallel()
 	xs := []float64{10, 20, 30, 40}
 	if got := Quantile(xs, 0); got != 10 {
 		t.Errorf("q0 = %v, want 10", got)
@@ -57,12 +61,14 @@ func TestQuantileEndpoints(t *testing.T) {
 }
 
 func TestQuantileSingleElement(t *testing.T) {
+	t.Parallel()
 	if got := Quantile([]float64{7}, 0.99); got != 7 {
 		t.Errorf("quantile of singleton = %v, want 7", got)
 	}
 }
 
 func TestQuantilePanics(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct {
 		name string
 		fn   func()
@@ -84,6 +90,7 @@ func TestQuantilePanics(t *testing.T) {
 
 // Property: the quantile is always within [min, max] and monotone in q.
 func TestQuantileProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw []float64, qa, qb float64) bool {
 		xs := raw[:0]
 		for _, v := range raw {
@@ -109,6 +116,7 @@ func TestQuantileProperty(t *testing.T) {
 }
 
 func TestMean(t *testing.T) {
+	t.Parallel()
 	if got := Mean([]float64{2, 4, 6}); got != 4 {
 		t.Errorf("Mean = %v, want 4", got)
 	}
@@ -118,6 +126,7 @@ func TestMean(t *testing.T) {
 }
 
 func TestNormalize(t *testing.T) {
+	t.Parallel()
 	got := Normalize([]float64{2, 4, 8})
 	want := []float64{0.25, 0.5, 1}
 	for i := range want {
@@ -128,6 +137,7 @@ func TestNormalize(t *testing.T) {
 }
 
 func TestNormalizeAllZero(t *testing.T) {
+	t.Parallel()
 	got := Normalize([]float64{0, 0})
 	if got[0] != 0 || got[1] != 0 {
 		t.Errorf("Normalize zeros = %v, want zeros", got)
@@ -137,6 +147,7 @@ func TestNormalizeAllZero(t *testing.T) {
 // Property: normalization preserves order and maps the max to 1 when the
 // max is positive.
 func TestNormalizeProperty(t *testing.T) {
+	t.Parallel()
 	f := func(raw []float64) bool {
 		xs := raw[:0]
 		for _, v := range raw {
@@ -167,6 +178,7 @@ func TestNormalizeProperty(t *testing.T) {
 }
 
 func TestHistogramBasic(t *testing.T) {
+	t.Parallel()
 	h := NewHistogram(0, 10, 10)
 	for i := 0; i < 10; i++ {
 		h.Add(float64(i) + 0.5)
@@ -182,6 +194,7 @@ func TestHistogramBasic(t *testing.T) {
 }
 
 func TestHistogramClamping(t *testing.T) {
+	t.Parallel()
 	h := NewHistogram(0, 10, 10)
 	h.Add(-5)
 	h.Add(100)
@@ -194,6 +207,7 @@ func TestHistogramClamping(t *testing.T) {
 }
 
 func TestHistogramQuantile(t *testing.T) {
+	t.Parallel()
 	h := NewHistogram(0, 100, 100)
 	for i := 0; i < 100; i++ {
 		h.Add(float64(i))
@@ -209,6 +223,7 @@ func TestHistogramQuantile(t *testing.T) {
 }
 
 func TestHistogramConstructorPanics(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct {
 		name string
 		fn   func()
@@ -228,6 +243,7 @@ func TestHistogramConstructorPanics(t *testing.T) {
 }
 
 func TestMinMax(t *testing.T) {
+	t.Parallel()
 	lo, hi := MinMax([]float64{3, -1, 7, 2})
 	if lo != -1 || hi != 7 {
 		t.Errorf("MinMax = %v, %v; want -1, 7", lo, hi)

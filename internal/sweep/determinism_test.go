@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/workload"
+)
+
+// TestRunDeterministicAcrossScheduling is the determinism regression
+// test: the same grid must produce bit-identical points — every field,
+// including full latency arrays — run twice at full parallelism and
+// once pinned to a single CPU. Cells are independent engines with
+// derived seeds, so host scheduling must never leak into results.
+func TestRunDeterministicAcrossScheduling(t *testing.T) {
+	// Deliberately not Parallel: it pins GOMAXPROCS for one run.
+	spec := Spec{
+		Device:      "SSD2",
+		PowerStates: []int{0, 2},
+		Ops:         []device.Op{device.OpWrite, device.OpRead},
+		Patterns:    []workload.Pattern{workload.Rand},
+		Chunks:      []int64{64 << 10, 1 << 20},
+		Depths:      []int{8},
+		Runtime:     500 * time.Millisecond,
+		TotalBytes:  64 << 20,
+		Seed:        23,
+	}
+
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	c, runErr := Run(spec)
+	runtime.GOMAXPROCS(prev)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical runs differ")
+		diffPoints(t, a, b)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Error("GOMAXPROCS=1 run differs from parallel run")
+		diffPoints(t, a, c)
+	}
+}
+
+// diffPoints narrows a DeepEqual failure down to the first divergent
+// point and field so regressions are debuggable.
+func diffPoints(t *testing.T, a, b []Point) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Errorf("point counts: %d vs %d", len(a), len(b))
+		return
+	}
+	for i := range a {
+		if reflect.DeepEqual(a[i], b[i]) {
+			continue
+		}
+		switch {
+		case a[i].Config != b[i].Config:
+			t.Errorf("point %d config: %+v vs %+v", i, a[i].Config, b[i].Config)
+		case a[i].AvgPowerW != b[i].AvgPowerW:
+			t.Errorf("point %d power: %v vs %v W", i, a[i].AvgPowerW, b[i].AvgPowerW)
+		case !reflect.DeepEqual(a[i].Result, b[i].Result):
+			t.Errorf("point %d result: IOs %d vs %d, p99 %v vs %v", i,
+				a[i].Result.IOs, b[i].Result.IOs, a[i].Result.LatP99, b[i].Result.LatP99)
+		default:
+			t.Errorf("point %d differs (trace?)", i)
+		}
+		return
+	}
+}

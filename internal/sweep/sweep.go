@@ -19,6 +19,7 @@ import (
 	"wattio/internal/hdd"
 	"wattio/internal/measure"
 	"wattio/internal/sim"
+	"wattio/internal/telemetry"
 	"wattio/internal/trace"
 	"wattio/internal/workload"
 )
@@ -147,6 +148,16 @@ func Run(spec Spec) ([]Point, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+
+	// Grid-level metrics go to the process-default registry: cells are
+	// independent engines, so the harness itself is the only place that
+	// sees worker scheduling. Host wall-clock feeds only metrics here,
+	// never results. busy_host_ns / (workers × elapsed) is utilization.
+	reg := telemetry.Default()
+	cCells := reg.Counter("sweep_cells_completed_total")
+	cBusy := reg.Counter("sweep_busy_host_ns_total")
+	reg.Gauge("sweep_workers").Set(int64(workers))
+
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -155,7 +166,10 @@ func Run(spec Spec) ([]Point, error) {
 			defer wg.Done()
 			for i := range next {
 				c := cells[i]
+				cellStart := time.Now()
 				out[i], errs[i] = runOne(spec, c.ps, c.op, c.pat, c.chunk, c.depth)
+				cBusy.Add(time.Since(cellStart).Nanoseconds())
+				cCells.Inc()
 			}
 		}()
 	}

@@ -1,0 +1,31 @@
+package telemetry
+
+import "sync/atomic"
+
+// Process-wide default telemetry. The simulation stack builds engines
+// deep inside experiment code, so the CLI layer cannot thread a
+// registry through every constructor; instead sim.NewEngine picks up
+// whatever default is installed at engine-creation time. The default is
+// nil (telemetry off) unless a CLI or test installs one.
+//
+// Tests that need isolation should prefer Engine.EnableTelemetry with a
+// private registry over the process default.
+
+var (
+	defaultRegistry atomic.Pointer[Registry]
+	defaultTracer   atomic.Pointer[Tracer]
+)
+
+// SetDefault installs reg as the process-wide default registry
+// (nil disables). Engines created afterwards tap into it.
+func SetDefault(reg *Registry) { defaultRegistry.Store(reg) }
+
+// Default returns the process-wide default registry, which may be nil.
+func Default() *Registry { return defaultRegistry.Load() }
+
+// SetDefaultTracer installs tr as the process-wide default tracer
+// (nil disables). Engines created afterwards emit spans into it.
+func SetDefaultTracer(tr *Tracer) { defaultTracer.Store(tr) }
+
+// DefaultTracer returns the process-wide default tracer, may be nil.
+func DefaultTracer() *Tracer { return defaultTracer.Load() }

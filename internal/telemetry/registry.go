@@ -1,0 +1,268 @@
+// Package telemetry is the simulator's observability layer: a
+// concurrency-safe metrics registry (counters, gauges, histograms) that
+// the simulation stack taps on its hot paths, and a Chrome trace-event
+// tracer (tracer.go) for span-by-span inspection of a run.
+//
+// The package is designed around two constraints:
+//
+//   - Disabled telemetry must cost nothing measurable. Every handle
+//     (*Counter, *Gauge, *Histogram) is nil-safe: methods on a nil
+//     handle are single-branch no-ops, so instrumented code calls them
+//     unconditionally and pays one predicted-not-taken branch when the
+//     registry is absent.
+//   - Enabled telemetry must be safe under the sweep harness, which
+//     runs one simulation engine per goroutine against a shared
+//     registry. All mutation is atomic; nothing on the update path
+//     takes a lock.
+//
+// Values are int64 throughout. Durations are recorded as nanoseconds,
+// energies as microjoules, etc. — the metric name carries the unit
+// suffix (`_ns`, `_total`, ...), Prometheus style.
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; a nil *Counter discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be nonnegative for the counter to stay monotonic;
+// this is not enforced on the hot path).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a level that can move both ways. It also tracks the maximum
+// level ever set, which turns an instantaneous quantity (queue depth,
+// heap size, busy dies) into a high-water mark for free. A nil *Gauge
+// discards updates.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.bumpMax(v)
+}
+
+// Add moves the level by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.bumpMax(g.v.Add(delta))
+}
+
+func (g *Gauge) bumpMax(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the highest level ever set (0 on a nil gauge).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// histBuckets is the number of exponential histogram buckets: bucket i
+// counts observations v with bitlen(v) == i, i.e. v in [2^(i-1), 2^i).
+// 64 buckets cover the full nonnegative int64 range.
+const histBuckets = 65
+
+// Histogram records a distribution in power-of-two buckets. Updates are
+// one atomic add; quantiles are approximate (within a factor of two),
+// which is plenty for latency and stall-time distributions. A nil
+// *Histogram discards updates.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// top of the bucket the quantile falls in.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return 1<<62 - 1
+}
+
+// Registry is a named collection of metrics. Metric handles are
+// interned: two Counter("x") calls return the same *Counter, so
+// components created at different times aggregate into one series.
+// A nil *Registry hands out nil handles, making an entire instrumented
+// stack a no-op.
+type Registry struct {
+	mu    sync.Mutex
+	cs    map[string]*Counter
+	gs    map[string]*Gauge
+	hs    map[string]*Histogram
+	order []string // registration order, for stable snapshots
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		cs: map[string]*Counter{},
+		gs: map[string]*Gauge{},
+		hs: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.cs[name]
+	if !ok {
+		c = &Counter{}
+		r.cs[name] = c
+		r.order = append(r.order, name)
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gs[name]
+	if !ok {
+		g = &Gauge{}
+		r.gs[name] = g
+		r.order = append(r.order, name)
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hs[name]
+	if !ok {
+		h = &Histogram{}
+		r.hs[name] = h
+		r.order = append(r.order, name)
+	}
+	return h
+}
+
+// names returns all registered metric names sorted.
+func (r *Registry) names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	sort.Strings(out)
+	return out
+}

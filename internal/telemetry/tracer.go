@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event (the JSON Array / Object format
+// that chrome://tracing and Perfetto load). Timestamps are microseconds
+// of virtual time.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// DefaultTraceEventCap bounds tracer memory: beyond it events are
+// counted as dropped rather than stored. At ~100 bytes an event this is
+// on the order of 100 MB, far past what a figure-scale run emits.
+const DefaultTraceEventCap = 1_000_000
+
+// Tracer collects Chrome trace-event JSON spans from a run. Components
+// emit complete spans onto named lanes (rendered as threads), async
+// spans for overlapping work (in-flight IOs), instants for point
+// events, and counter samples for continuously varying values (power).
+//
+// A nil *Tracer discards everything, so instrumented code calls it
+// unconditionally. A single Tracer may receive events from many engines
+// concurrently (the sweep harness); all methods are mutex-protected —
+// tracing is opt-in, so this cost is only paid when asked for.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []traceEvent
+	lanes   map[string]int
+	cap     int
+	dropped int64
+}
+
+// NewTracer returns an empty tracer holding at most capEvents events
+// (<= 0 means DefaultTraceEventCap).
+func NewTracer(capEvents int) *Tracer {
+	if capEvents <= 0 {
+		capEvents = DefaultTraceEventCap
+	}
+	return &Tracer{lanes: map[string]int{}, cap: capEvents}
+}
+
+// Enabled reports whether events are being collected.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// laneLocked interns a lane name to a tid, emitting the thread_name
+// metadata event Chrome uses to label the track.
+func (t *Tracer) laneLocked(name string) int {
+	id, ok := t.lanes[name]
+	if !ok {
+		id = len(t.lanes) + 1
+		t.lanes[name] = id
+		t.events = append(t.events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: id,
+			Args: map[string]any{"name": name},
+		})
+	}
+	return id
+}
+
+func (t *Tracer) add(ev traceEvent) {
+	if len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// Span records a complete event on the named lane from start to end.
+// Spans on one lane are expected not to overlap (serialized resources:
+// a die, the host link, the head assembly).
+func (t *Tracer) Span(lane, cat, name string, start, end time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.add(traceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: usec(start), Dur: usec(end - start),
+		PID: 1, TID: t.laneLocked(lane),
+	})
+}
+
+// AsyncBegin opens an async span; pair with AsyncEnd using the same
+// (cat, id). Async spans may overlap freely (in-flight IOs).
+func (t *Tracer) AsyncBegin(lane, cat, name string, id int64, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.add(traceEvent{Name: name, Cat: cat, Ph: "b", ID: id, TS: usec(at), PID: 1, TID: t.laneLocked(lane)})
+}
+
+// AsyncEnd closes an async span opened by AsyncBegin.
+func (t *Tracer) AsyncEnd(lane, cat, name string, id int64, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.add(traceEvent{Name: name, Cat: cat, Ph: "e", ID: id, TS: usec(at), PID: 1, TID: t.laneLocked(lane)})
+}
+
+// Instant records a point event on the named lane (a throttle release,
+// a standby command, a cache flush).
+func (t *Tracer) Instant(lane, cat, name string, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.add(traceEvent{
+		Name: name, Cat: cat, Ph: "i", TS: usec(at),
+		PID: 1, TID: t.laneLocked(lane),
+		Args: map[string]any{"s": "t"}, // thread-scoped instant
+	})
+}
+
+// Counter records a sampled value series (rendered as a filled track).
+func (t *Tracer) Counter(name string, at time.Duration, value float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.add(traceEvent{
+		Name: name, Ph: "C", TS: usec(at), PID: 1, TID: 0,
+		Args: map[string]any{"value": value},
+	})
+}
+
+// Len returns the number of collected events (metadata included).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events the cap discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSON emits the collected trace in the Chrome trace-event JSON
+// Object format, loadable by chrome://tracing and ui.perfetto.dev.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[]}` + "\n"))
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	doc := struct {
+		TraceEvents     []traceEvent   `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData,omitempty"`
+	}{
+		TraceEvents:     t.events,
+		DisplayTimeUnit: "ms",
+	}
+	if t.dropped > 0 {
+		doc.OtherData = map[string]any{"dropped_events": t.dropped}
+	}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []traceEvent{}
+	}
+	return json.NewEncoder(w).Encode(doc)
+}

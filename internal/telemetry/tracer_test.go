@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// chromeDoc mirrors the trace-event JSON Object format for validation.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+func TestTracerChromeJSON(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(0)
+	tr.Span("SSD1/die0", "ssd", "program", 10*time.Microsecond, 250*time.Microsecond)
+	tr.Instant("SSD1", "ssd", "throttle_release", 300*time.Microsecond)
+	tr.AsyncBegin("io", "workload", "write", 7, 5*time.Microsecond)
+	tr.AsyncEnd("io", "workload", "write", 7, 400*time.Microsecond)
+	tr.Counter("power_w", 100*time.Microsecond, 8.25)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 5 events + 3 thread_name metadata records (3 lanes).
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("%d events, want 8", len(doc.TraceEvents))
+	}
+	var phases = map[string]int{}
+	lanes := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Ph == "M" {
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event %q, want thread_name", ev.Name)
+			}
+			lanes[ev.Args["name"].(string)] = true
+		}
+		if ev.Ph == "X" {
+			if ev.TS != 10 || ev.Dur != 240 {
+				t.Errorf("span ts=%v dur=%v, want 10/240 µs", ev.TS, ev.Dur)
+			}
+		}
+		if ev.Ph == "C" {
+			if ev.Args["value"].(float64) != 8.25 {
+				t.Errorf("counter value %v, want 8.25", ev.Args["value"])
+			}
+		}
+	}
+	for _, ph := range []string{"X", "i", "b", "e", "C"} {
+		if phases[ph] != 1 {
+			t.Errorf("phase %q count %d, want 1", ph, phases[ph])
+		}
+	}
+	for _, lane := range []string{"SSD1/die0", "SSD1", "io"} {
+		if !lanes[lane] {
+			t.Errorf("lane %q has no thread_name metadata", lane)
+		}
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+}
+
+func TestTracerEventCap(t *testing.T) {
+	t.Parallel()
+	tr := NewTracer(10)
+	for i := 0; i < 50; i++ {
+		tr.Span("lane", "cat", "op", time.Duration(i), time.Duration(i+1))
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("len = %d, want cap 10", tr.Len())
+	}
+	// 1 metadata + 9 spans stored, 41 dropped.
+	if tr.Dropped() != 41 {
+		t.Fatalf("dropped = %d, want 41", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData["dropped_events"].(float64) != 41 {
+		t.Fatalf("otherData dropped_events = %v", doc.OtherData["dropped_events"])
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"wattio/internal/device"
 	"wattio/internal/sim"
 	"wattio/internal/stats"
+	"wattio/internal/telemetry"
 )
 
 // Pattern is the offset pattern of a job.
@@ -152,6 +153,14 @@ type Runner struct {
 	latencies    []time.Duration
 	arrivalsDone bool
 	done         bool
+
+	// Telemetry. Nil-safe no-ops when the engine has none attached.
+	tr      *telemetry.Tracer
+	lane    string
+	cIssued *telemetry.Counter
+	cDone   *telemetry.Counter
+	gDepth  *telemetry.Gauge
+	hLatNs  *telemetry.Histogram
 }
 
 // Start validates the job and issues the initial queue-depth worth of
@@ -168,6 +177,7 @@ func Start(eng *sim.Engine, dev device.Device, job Job, rng *sim.RNG) *Runner {
 	// Align the span down to a whole number of blocks so random offsets
 	// never cross the end.
 	span -= span % job.BS
+	reg := eng.Metrics()
 	r := &Runner{
 		eng:  eng,
 		dev:  dev,
@@ -177,6 +187,13 @@ func Start(eng *sim.Engine, dev device.Device, job Job, rng *sim.RNG) *Runner {
 
 		start:    eng.Now(),
 		deadline: -1,
+
+		tr:      eng.Tracer(),
+		lane:    dev.Name() + "/io",
+		cIssued: reg.Counter("workload_ios_issued_total"),
+		cDone:   reg.Counter("workload_ios_completed_total"),
+		gDepth:  reg.Gauge("workload_queue_depth"),
+		hLatNs:  reg.Histogram("workload_latency_ns"),
 	}
 	if job.Runtime > 0 {
 		r.deadline = eng.Now() + job.Runtime
@@ -241,12 +258,24 @@ func (r *Runner) issue() {
 	req := device.Request{Op: r.job.Op, Offset: off, Size: r.job.BS}
 	r.issued += r.job.BS
 	r.inflight++
+	r.cIssued.Inc()
+	r.gDepth.Set(int64(r.inflight))
 	submitted := r.eng.Now()
+	id := int64(len(r.latencies)) + int64(r.inflight)
+	if r.tr.Enabled() {
+		r.tr.AsyncBegin(r.lane, "io", r.job.Name(), id, submitted)
+	}
 	r.dev.Submit(req, func() {
 		now := r.eng.Now()
 		r.latencies = append(r.latencies, now-submitted)
 		r.lastDone = now
 		r.inflight--
+		r.cDone.Inc()
+		r.gDepth.Set(int64(r.inflight))
+		r.hLatNs.Observe(int64(now - submitted))
+		if r.tr.Enabled() {
+			r.tr.AsyncEnd(r.lane, "io", r.job.Name(), id, now)
+		}
 		if r.job.Arrival != Closed {
 			// Open loop: arrivals are driven by the clock, not by
 			// completions; the runner finishes once arrivals have
