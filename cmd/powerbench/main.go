@@ -9,6 +9,7 @@
 //	powerbench -exp fig4
 //	powerbench -exp all -scale paper -out results.txt
 //	powerbench -exp fig2 -trace trace.json -metrics
+//	powerbench -exp chaos -faultseed 7 -metrics
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		out     = flag.String("out", "", "also write results to this file")
 		csvDir  = flag.String("csvdir", "", "export figure data as CSV files into this directory")
 		seed    = flag.Uint64("seed", 42, "root random seed")
+		fseed   = flag.Uint64("faultseed", 1, "fault-injection random seed (chaos experiment)")
 		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) of the run to this file")
 		metrics = flag.Bool("metrics", false, "print a telemetry metrics snapshot after the run")
 	)
@@ -53,6 +55,7 @@ func main() {
 		os.Exit(2)
 	}
 	s.Seed = *seed
+	s.FaultSeed = *fseed
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -24,10 +24,21 @@ type ReadCache struct {
 	byBlock map[int64]*list.Element // slow-device block index → entry
 	bySlot  map[int64]struct{}      // allocated slots (for invariants)
 	free    []int64                 // free slot indices
+	fills   map[int64][]*fill       // miss fills in flight per block
 
 	// Hits and Misses count read lookups; Saves counts reads served
 	// while the slow device was in standby (wakes avoided).
 	Hits, Misses, Saves int
+	// DroppedFills counts miss fills abandoned because a write
+	// invalidated the block while the slow read was in flight —
+	// inserting those would serve stale data forever.
+	DroppedFills int
+}
+
+// fill tracks one in-flight miss fill so a write that lands between
+// the slow read's submission and its completion can cancel the insert.
+type fill struct {
+	canceled bool
 }
 
 type cacheEntry struct {
@@ -55,6 +66,7 @@ func NewReadCache(fast, slow device.Device, base, capacityBytes, blockSize int64
 		lru:       list.New(),
 		byBlock:   map[int64]*list.Element{},
 		bySlot:    map[int64]struct{}{},
+		fills:     map[int64][]*fill{},
 	}
 	for s := c.slots - 1; s >= 0; s-- {
 		c.free = append(c.free, s)
@@ -77,11 +89,17 @@ func (c *ReadCache) Submit(req device.Request, done func()) {
 	spansOne := (req.Offset+req.Size-1)/c.blockSize == block
 
 	if req.Op == device.OpWrite {
-		// Invalidate every overlapped block, then write through.
+		// Invalidate every overlapped block, then write through. Miss
+		// fills in flight for an overlapped block are canceled too:
+		// their slow read snapshotted pre-write data, and inserting it
+		// at completion would serve stale reads from then on.
 		last := (req.Offset + req.Size - 1) / c.blockSize
 		for b := block; b <= last; b++ {
 			if el, ok := c.byBlock[b]; ok {
 				c.evict(el)
+			}
+			for _, f := range c.fills[b] {
+				f.canceled = true
 			}
 		}
 		c.slow.Submit(req, done)
@@ -112,11 +130,36 @@ func (c *ReadCache) Submit(req device.Request, done func()) {
 		c.slow.Submit(req, done) // tail block; don't cache
 		return
 	}
+	f := &fill{}
+	c.fills[block] = append(c.fills[block], f)
 	c.slow.Submit(blockReq, func() {
+		c.removeFill(block, f)
+		if f.canceled {
+			c.DroppedFills++
+			done()
+			return
+		}
 		slot := c.allocate(block)
 		c.fast.Submit(device.Request{Op: device.OpWrite, Offset: c.base + slot*c.blockSize, Size: c.blockSize}, func() {})
 		done()
 	})
+}
+
+// removeFill drops one completed fill token from the block's in-flight
+// list.
+func (c *ReadCache) removeFill(block int64, f *fill) {
+	fs := c.fills[block]
+	for i, v := range fs {
+		if v == f {
+			fs = append(fs[:i], fs[i+1:]...)
+			break
+		}
+	}
+	if len(fs) == 0 {
+		delete(c.fills, block)
+	} else {
+		c.fills[block] = fs
+	}
 }
 
 // allocate finds a slot for block, evicting the LRU entry if full.

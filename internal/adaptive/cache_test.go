@@ -172,3 +172,54 @@ func TestCacheHitRate(t *testing.T) {
 		t.Errorf("hit rate = %v, want 2/3", r)
 	}
 }
+
+func TestCacheWriteDuringFillDropsStaleInsert(t *testing.T) {
+	t.Parallel()
+	c, _, eng := newCachePair(t, 16)
+	const off = int64(1) << 30
+	// A read miss starts a block fill from the HDD; a write to the same
+	// block lands while that fill is in flight. The fill snapshotted
+	// pre-write data, so inserting it would serve stale reads forever.
+	var rdone, wdone bool
+	c.Submit(device.Request{Op: device.OpRead, Offset: off, Size: 4096}, func() { rdone = true })
+	c.Submit(device.Request{Op: device.OpWrite, Offset: off, Size: 4096}, func() { wdone = true })
+	for (!rdone || !wdone) && eng.Step() {
+	}
+	if !rdone || !wdone {
+		t.Fatal("IOs never completed")
+	}
+	if c.DroppedFills != 1 {
+		t.Errorf("DroppedFills = %d, want 1", c.DroppedFills)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache holds %d blocks after an invalidated fill, want 0", c.Len())
+	}
+	// The block must re-miss: a hit here would serve the stale snapshot.
+	readAt(eng, c, off, 4096)
+	if c.Misses != 2 || c.Hits != 0 {
+		t.Errorf("hits/misses = %d/%d after invalidated fill, want 0/2", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheWriteElsewhereDuringFillKeepsInsert(t *testing.T) {
+	t.Parallel()
+	c, _, eng := newCachePair(t, 16)
+	const off = int64(1) << 30
+	const block = int64(64) << 10
+	var rdone, wdone bool
+	c.Submit(device.Request{Op: device.OpRead, Offset: off, Size: 4096}, func() { rdone = true })
+	// Write to a different block: the in-flight fill is unaffected.
+	c.Submit(device.Request{Op: device.OpWrite, Offset: off + 10*block, Size: 4096}, func() { wdone = true })
+	for (!rdone || !wdone) && eng.Step() {
+	}
+	if c.DroppedFills != 0 {
+		t.Errorf("DroppedFills = %d, want 0", c.DroppedFills)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d blocks, want 1", c.Len())
+	}
+	readAt(eng, c, off, 4096)
+	if c.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (fill unaffected by unrelated write)", c.Hits)
+	}
+}

@@ -1,0 +1,326 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/core"
+	"wattio/internal/device"
+	"wattio/internal/fault"
+	"wattio/internal/sim"
+	"wattio/internal/workload"
+)
+
+func TestGovernorRetriesThroughCmdFaults(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(23)
+	inner := catalog.NewSSD2(eng, rng.Stream("dev"))
+	// The window end (520 ms) is off the 100 ms control grid, so the
+	// transition that finally lands must come from a backed-off retry,
+	// not a co-timed control tick.
+	dev := fault.MustNew(inner, eng, nil, fault.Profile{Windows: []fault.Window{
+		{Kind: fault.PowerCmdFail, Start: 0, Dur: 520 * time.Millisecond},
+	}})
+	g, err := NewGovernor(eng, dev, 11, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	res := workload.Run(eng, dev, workload.Job{
+		Op: device.OpWrite, Pattern: workload.Rand, BS: 256 << 10, Depth: 64,
+		Runtime: 2 * time.Second, TotalBytes: 8 << 30,
+	}, rng.Stream("wl"))
+	g.Stop()
+	if res.IOs == 0 {
+		t.Fatal("no IO")
+	}
+	if g.Failures == 0 {
+		t.Error("governor saw no command failures despite the fault window")
+	}
+	if g.Retries == 0 {
+		t.Error("governor never retried a failed transition")
+	}
+	if g.Steps == 0 {
+		t.Error("no transition ever applied after the window lifted")
+	}
+	if inner.PowerStateIndex() != 2 {
+		t.Errorf("device at ps%d after recovery, want ps2 (only ps2 caps below 11 W)",
+			inner.PowerStateIndex())
+	}
+}
+
+func TestGovernorSetBudgetRejectsNonPositive(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(23)
+	dev := catalog.NewSSD2(eng, rng)
+	g, err := NewGovernor(eng, dev, 11, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetBudget(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if err := g.SetBudget(-3); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if g.Budget() != 11 {
+		t.Errorf("rejected SetBudget still changed the budget to %v", g.Budget())
+	}
+	if err := g.SetBudget(9); err != nil {
+		t.Errorf("valid budget rejected: %v", err)
+	}
+	if g.Budget() != 9 {
+		t.Errorf("budget = %v, want 9", g.Budget())
+	}
+}
+
+func TestGovernorZeroElapsedTickIsNoop(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(23)
+	dev := catalog.NewSSD2(eng, rng)
+	g, err := NewGovernor(eng, dev, 11, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	// A control step co-timed with Start has zero elapsed time; the
+	// average-power division would be NaN/Inf. It must be skipped.
+	g.control()
+	if g.Overs != 0 || g.Steps != 0 {
+		t.Errorf("zero-elapsed tick acted: overs=%d steps=%d", g.Overs, g.Steps)
+	}
+	g.Stop()
+}
+
+func TestRedirectorFailsOverAndDrainsBack(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(31)
+	const dropStart, dropEnd = 500 * time.Millisecond, 800 * time.Millisecond
+	r0 := fault.MustNew(catalog.NewEVO(eng, rng.Stream("r0")), eng, nil, fault.Profile{
+		Windows: []fault.Window{{Kind: fault.Dropout, Start: dropStart, Dur: dropEnd - dropStart}},
+	})
+	r1 := catalog.NewEVO(eng, rng.Stream("r1"))
+	r2 := catalog.NewEVO(eng, rng.Stream("r2"))
+	r, err := NewRedirector("mirror", []device.Device{r0, r1, r2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atStart, atEnd []int
+	eng.Schedule(dropStart, func() { atStart = r.CompletedByReplica() })
+	eng.Schedule(dropEnd, func() { atEnd = r.CompletedByReplica() })
+	workload.Run(eng, r, workload.Job{
+		Op: device.OpRead, Pattern: workload.Rand, BS: 4 << 10,
+		Arrival: workload.OpenPoisson, RateIOPS: 3000, Runtime: 1500 * time.Millisecond,
+	}, rng.Stream("wl"))
+	final := r.CompletedByReplica()
+
+	if r.Failovers == 0 {
+		t.Error("no failovers despite replica 0 dropping out under load")
+	}
+	if atStart[0] == 0 {
+		t.Error("replica 0 served nothing before the dropout")
+	}
+	// Only IOs already in flight at drop start may land on replica 0
+	// inside the window.
+	if during := atEnd[0] - atStart[0]; during > 8 {
+		t.Errorf("replica 0 completed %d IOs during its dropout window", during)
+	}
+	if after := final[0] - atEnd[0]; after == 0 {
+		t.Error("no load drained back onto replica 0 after recovery")
+	}
+}
+
+func TestRedirectorTotalOutageParksIO(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(31)
+	const winStart, winEnd = 10 * time.Millisecond, 60 * time.Millisecond
+	r0 := fault.MustNew(catalog.NewEVO(eng, rng.Stream("r0")), eng, nil, fault.Profile{
+		Windows: []fault.Window{{Kind: fault.Dropout, Start: winStart, Dur: winEnd - winStart}},
+	})
+	r, err := NewRedirector("solo", []device.Device{r0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(20 * time.Millisecond) // inside the outage
+	done := false
+	r.Submit(device.Request{Op: device.OpRead, Offset: 0, Size: 4096}, func() { done = true })
+	for !done && eng.Step() {
+	}
+	if !done {
+		t.Fatal("parked IO never completed")
+	}
+	if eng.Now() < winEnd {
+		t.Errorf("IO completed at %v, before the outage ended at %v", eng.Now(), winEnd)
+	}
+	if r.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1", r.Failovers)
+	}
+	if r.WakesOnDemand != 1 {
+		t.Errorf("WakesOnDemand = %d, want 1", r.WakesOnDemand)
+	}
+}
+
+// budgetTestModels mirrors the chaos experiment's hand-calibrated
+// two-device fleet: one sample per power state.
+func budgetTestModels(t *testing.T) *core.Fleet {
+	t.Helper()
+	mk := func(dev string, ps int, w, mbps float64) core.Sample {
+		return core.Sample{
+			Config:         core.Config{Device: dev, PowerState: ps, Random: true, Write: true, ChunkBytes: 256 << 10, Depth: 64},
+			PowerW:         w,
+			ThroughputMBps: mbps,
+		}
+	}
+	ssd1, err := core.NewModel("SSD1", []core.Sample{
+		mk("SSD1", 0, 12.0, 3300), mk("SSD1", 1, 7.0, 2400), mk("SSD1", 2, 6.0, 2000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd2, err := core.NewModel("SSD2", []core.Sample{
+		mk("SSD2", 0, 14.8, 1100), mk("SSD2", 1, 11.5, 815), mk("SSD2", 2, 9.8, 605),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := core.NewFleet(ssd1, ssd2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+func TestBudgetControllerCompensatesForStuckDevice(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(41)
+	ssd1 := catalog.NewSSD1(eng, rng.Stream("ssd1"))
+	ssd2 := fault.MustNew(catalog.NewSSD2(eng, rng.Stream("ssd2")), eng, nil, fault.Profile{
+		Windows: []fault.Window{{Kind: fault.PowerCmdFail, Start: 0, Dur: time.Second}},
+	})
+	bc, err := NewBudgetController(budgetTestModels(t), []device.Device{ssd1, ssd2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained best under 22 W is SSD1 ps0 + SSD2 ps2 (21.8 W).
+	// SSD2 refuses, so its ps0 worst case (14.8 W) is reserved and
+	// SSD1 must tighten to ps1 (7.0 W ≤ 7.2 W remaining).
+	a, err := bc.Apply(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Compensations != 1 {
+		t.Errorf("Compensations = %d, want 1", bc.Compensations)
+	}
+	if len(bc.LastStuck) != 1 || bc.LastStuck[0] != "SSD2" {
+		t.Errorf("LastStuck = %v, want [SSD2]", bc.LastStuck)
+	}
+	if ssd1.PowerStateIndex() != 1 {
+		t.Errorf("SSD1 at ps%d, want ps1 (tightened around the stuck sibling)", ssd1.PowerStateIndex())
+	}
+	if ssd2.PowerStateIndex() != 0 {
+		t.Errorf("stuck SSD2 moved to ps%d", ssd2.PowerStateIndex())
+	}
+	if a.Configs["SSD2"].PowerW != 14.8 {
+		t.Errorf("stuck SSD2 assumed at %.1f W, want its ps0 worst case 14.8", a.Configs["SSD2"].PowerW)
+	}
+	if a.TotalPowerW > 22 {
+		t.Errorf("final assignment %.2f W exceeds the 22 W budget", a.TotalPowerW)
+	}
+}
+
+func TestBudgetControllerInfeasibleAfterStuck(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(41)
+	ssd1 := catalog.NewSSD1(eng, rng.Stream("ssd1"))
+	ssd2 := fault.MustNew(catalog.NewSSD2(eng, rng.Stream("ssd2")), eng, nil, fault.Profile{
+		Windows: []fault.Window{{Kind: fault.PowerCmdFail, Start: 0, Dur: time.Second}},
+	})
+	bc, err := NewBudgetController(budgetTestModels(t), []device.Device{ssd1, ssd2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 17 W fits SSD1 ps1 + SSD2 ps2, but once SSD2 sticks at its
+	// 14.8 W worst case only 2.2 W remain — below SSD1's minimum.
+	if _, err := bc.Apply(17); err == nil {
+		t.Error("infeasible post-compensation budget accepted")
+	}
+	if bc.Compensations != 1 {
+		t.Errorf("Compensations = %d, want 1", bc.Compensations)
+	}
+}
+
+func TestRolloutQuarantine(t *testing.T) {
+	t.Parallel()
+	leaf := func(name string) *Domain { return &Domain{Name: name} }
+	rack0 := &Domain{Name: "rack0", Children: []*Domain{leaf("a"), leaf("b"), leaf("c")}}
+	rack1 := &Domain{Name: "rack1", Children: []*Domain{leaf("d"), leaf("e"), leaf("f")}}
+	root := &Domain{Name: "dc", Children: []*Domain{rack0, rack1}}
+	ro := NewRollout(root)
+
+	staged := ro.Stage(2)
+	if len(staged) != 2 {
+		t.Fatalf("staged %d leaves, want 2", len(staged))
+	}
+	bad := staged[0]
+	if err := ro.Quarantine(bad); err != nil {
+		t.Fatal(err)
+	}
+	if !ro.Quarantined(bad) || ro.Enabled(bad) {
+		t.Error("quarantined leaf still enabled or not marked")
+	}
+	if ro.QuarantinedCount() != 1 || ro.EnabledCount() != 1 {
+		t.Errorf("counts quarantined/enabled = %d/%d, want 1/1",
+			ro.QuarantinedCount(), ro.EnabledCount())
+	}
+	if err := ro.Quarantine(bad); err == nil {
+		t.Error("quarantining a disabled leaf accepted")
+	}
+
+	// Later stages must not re-enable the quarantined leaf.
+	for _, d := range ro.Stage(10) {
+		if d == bad {
+			t.Error("Stage re-enabled a quarantined leaf")
+		}
+	}
+	if ro.EnabledCount() != 5 {
+		t.Errorf("enabled = %d, want 5 (all but the quarantined leaf)", ro.EnabledCount())
+	}
+
+	// Reinstating returns it to the pending pool.
+	if err := ro.Reinstate(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Reinstate(bad); err == nil {
+		t.Error("reinstating a non-quarantined leaf accepted")
+	}
+	if got := ro.Stage(10); len(got) != 1 || got[0] != bad {
+		t.Errorf("post-reinstate Stage = %v, want just the reinstated leaf", got)
+	}
+}
+
+func TestRolloutAuditAndQuarantine(t *testing.T) {
+	t.Parallel()
+	a, b := &Domain{Name: "a"}, &Domain{Name: "b"}
+	root := &Domain{Name: "dc", Children: []*Domain{a, b}}
+	ro := NewRollout(root)
+	ro.Stage(2)
+	power := map[*Domain]float64{a: 14.8, b: 10.1}
+	failing := ro.AuditAndQuarantine(func(d *Domain) float64 { return power[d] }, 12)
+	if len(failing) != 1 || failing[0] != a {
+		t.Fatalf("audit quarantined %v, want [a]", failing)
+	}
+	if !ro.Quarantined(a) || ro.Quarantined(b) {
+		t.Error("quarantine flags wrong after audit")
+	}
+	if ro.EnabledCount() != 1 {
+		t.Errorf("enabled = %d after audit, want 1", ro.EnabledCount())
+	}
+}

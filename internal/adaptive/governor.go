@@ -6,6 +6,7 @@ import (
 
 	"wattio/internal/device"
 	"wattio/internal/sim"
+	"wattio/internal/telemetry"
 )
 
 // Governor is the model-free counterpart to BudgetController: a
@@ -15,6 +16,11 @@ import (
 // power-throughput model has been built yet, or as a safety net under
 // the model-based plan — §4.1's "local failures to control power" are
 // exactly what the feedback loop catches.
+//
+// Power-state commands can fail (a faulted or browned-out device, see
+// internal/fault); the governor retries a failed transition with
+// capped exponential backoff until it applies or the next control
+// period supersedes it with a fresh decision.
 type Governor struct {
 	eng *sim.Engine
 	dev device.Device
@@ -24,15 +30,28 @@ type Governor struct {
 	// HeadroomFrac is the fraction of budget that must be free before
 	// the governor steps back up (hysteresis against flapping).
 	HeadroomFrac float64
+	// RetryBase and RetryMax bound the retry backoff for failed
+	// power-state commands: the first retry fires after RetryBase and
+	// doubles on each consecutive failure up to RetryMax.
+	RetryBase, RetryMax time.Duration
 
 	running bool
 	tick    *sim.Timer
-	lastE   float64
-	lastT   time.Duration
+
+	retry        *sim.Timer
+	retryBackoff time.Duration
+
+	lastE float64
+	lastT time.Duration
 
 	// Steps counts power-state changes; Overs counts measurement
-	// periods that ended over budget.
-	Steps, Overs int
+	// periods that ended over budget; Retries counts retry attempts
+	// after failed power-state commands; Failures counts failed
+	// commands (first attempts and retries).
+	Steps, Overs, Retries, Failures int
+
+	cRetries  *telemetry.Counter
+	cFailures *telemetry.Counter
 }
 
 // NewGovernor builds a governor over a device with host-selectable
@@ -47,15 +66,29 @@ func NewGovernor(eng *sim.Engine, dev device.Device, budgetW float64, period tim
 	if period <= 0 {
 		return nil, fmt.Errorf("adaptive: period must be positive")
 	}
+	reg := eng.Metrics()
 	return &Governor{
 		eng: eng, dev: dev,
 		budgetW: budgetW, period: period,
 		HeadroomFrac: 0.15,
+		RetryBase:    period / 8,
+		RetryMax:     period,
+
+		cRetries:  reg.Counter("governor_retries_total"),
+		cFailures: reg.Counter("governor_cmd_failures_total"),
 	}, nil
 }
 
 // SetBudget retargets the governor; takes effect at the next period.
-func (g *Governor) SetBudget(w float64) { g.budgetW = w }
+// Like the constructor it rejects non-positive budgets, which would
+// pin the device at its deepest state forever.
+func (g *Governor) SetBudget(w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("adaptive: budget must be positive, got %v", w)
+	}
+	g.budgetW = w
+	return nil
+}
 
 // Budget returns the current target.
 func (g *Governor) Budget() float64 { return g.budgetW }
@@ -78,6 +111,7 @@ func (g *Governor) Stop() {
 		g.tick.Stop()
 		g.tick = nil
 	}
+	g.stopRetry()
 }
 
 func (g *Governor) schedule() {
@@ -93,9 +127,20 @@ func (g *Governor) schedule() {
 // control runs one feedback step on the trailing period's average power.
 func (g *Governor) control() {
 	now := g.eng.Now()
+	elapsed := now - g.lastT
+	if elapsed <= 0 {
+		// A zero-length period (Start and the first tick co-timed, or a
+		// re-entrant call) has no average power; dividing would poison
+		// the decision with NaN/Inf. Skip and wait for real elapsed time.
+		return
+	}
 	e := g.dev.EnergyJ()
-	avgW := (e - g.lastE) / (now - g.lastT).Seconds()
+	avgW := (e - g.lastE) / elapsed.Seconds()
 	g.lastE, g.lastT = e, now
+
+	// A fresh measurement supersedes any pending retry: the decision
+	// below is based on newer data.
+	g.stopRetry()
 
 	ps := g.dev.PowerStateIndex()
 	nStates := len(g.dev.PowerStates())
@@ -103,18 +148,64 @@ func (g *Governor) control() {
 	case avgW > g.budgetW:
 		g.Overs++
 		if ps < nStates-1 {
-			if err := g.dev.SetPowerState(ps + 1); err == nil {
-				g.Steps++
-			}
+			g.apply(ps + 1)
 		}
 	case avgW < g.budgetW*(1-g.HeadroomFrac) && ps > 0:
 		// Only step up if the next state's cap also fits the budget;
 		// otherwise stepping up guarantees re-violation.
 		upCap := g.dev.PowerStates()[ps-1].MaxPowerW
 		if upCap == 0 || upCap <= g.budgetW {
-			if err := g.dev.SetPowerState(ps - 1); err == nil {
-				g.Steps++
-			}
+			g.apply(ps - 1)
 		}
+	}
+}
+
+// apply attempts a power-state transition, arming the retry loop on
+// failure.
+func (g *Governor) apply(target int) {
+	if err := g.dev.SetPowerState(target); err != nil {
+		g.Failures++
+		g.cFailures.Inc()
+		g.retryBackoff = g.RetryBase
+		g.scheduleRetry(target)
+		return
+	}
+	g.Steps++
+	g.retryBackoff = 0
+}
+
+func (g *Governor) scheduleRetry(target int) {
+	d := g.retryBackoff
+	if d <= 0 {
+		d = g.RetryBase
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	g.retry = g.eng.After(d, func() {
+		if !g.running {
+			return
+		}
+		g.Retries++
+		g.cRetries.Inc()
+		if err := g.dev.SetPowerState(target); err != nil {
+			g.Failures++
+			g.cFailures.Inc()
+			g.retryBackoff *= 2
+			if g.retryBackoff > g.RetryMax {
+				g.retryBackoff = g.RetryMax
+			}
+			g.scheduleRetry(target)
+			return
+		}
+		g.Steps++
+		g.retryBackoff = 0
+	})
+}
+
+func (g *Governor) stopRetry() {
+	if g.retry != nil {
+		g.retry.Stop()
+		g.retry = nil
 	}
 }

@@ -14,9 +14,11 @@
 package adaptive
 
 import (
+	"errors"
 	"fmt"
 
 	"wattio/internal/device"
+	"wattio/internal/telemetry"
 )
 
 // Redirector routes IO across N devices holding replicated data,
@@ -25,6 +27,11 @@ import (
 // standby replicas are resynchronized on activation (modeled as
 // instantaneous, as SRCMap's background sync is off the data path).
 //
+// Replicas can drop out (a fault-injected brownout, a pulled drive);
+// the redirector routes around unhealthy replicas (device.Healthy) and
+// drains load back naturally once they recover, since selection is by
+// current outstanding depth.
+//
 // Redirector implements device.Device so workloads and measurement rigs
 // compose with it; power-control methods act on the ensemble.
 type Redirector struct {
@@ -32,10 +39,16 @@ type Redirector struct {
 	devs        []device.Device
 	active      []bool
 	outstanding []int
+	completed   []int
 
 	// WakesOnDemand counts IOs that arrived when no replica was
 	// active and forced a wake — QoS violations in SRCMap terms.
 	WakesOnDemand int
+	// Failovers counts IOs routed away from an active replica because
+	// it was unhealthy at submission time.
+	Failovers int
+
+	cFailovers *telemetry.Counter
 }
 
 // NewRedirector builds a redirector over replicas of equal capacity,
@@ -58,6 +71,9 @@ func NewRedirector(name string, devs []device.Device, k int) (*Redirector, error
 		devs:        devs,
 		active:      make([]bool, len(devs)),
 		outstanding: make([]int, len(devs)),
+		completed:   make([]int, len(devs)),
+
+		cFailovers: telemetry.Default().Counter("redirect_failovers_total"),
 	}
 	for i := range devs {
 		r.active[i] = i < k
@@ -65,19 +81,25 @@ func NewRedirector(name string, devs []device.Device, k int) (*Redirector, error
 	return r, r.applyStandby()
 }
 
+// applyStandby drives every replica toward its active/standby target.
+// It keeps going past per-replica failures (a dropped replica cannot be
+// woken, but that must not strand its siblings) and returns the joined
+// errors; the active-set bookkeeping stands regardless, so a failed
+// replica rejoins when it recovers and the next transition retries it.
 func (r *Redirector) applyStandby() error {
+	var errs []error
 	for i, d := range r.devs {
 		if r.active[i] {
 			if err := d.Wake(); err != nil && err != device.ErrNotSupported {
-				return err
+				errs = append(errs, fmt.Errorf("adaptive: waking %s: %w", d.Name(), err))
 			}
 		} else {
 			if err := d.EnterStandby(); err != nil && err != device.ErrNotSupported {
-				return err
+				errs = append(errs, fmt.Errorf("adaptive: standing down %s: %w", d.Name(), err))
 			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // SetActive resizes the active set to k replicas, waking or standing
@@ -106,34 +128,69 @@ func (r *Redirector) ActiveCount() int {
 // Devices returns the managed replicas.
 func (r *Redirector) Devices() []device.Device { return r.devs }
 
-// pick returns the least-loaded active replica index, or -1 if none.
-func (r *Redirector) pick() int {
-	best := -1
+// pick returns the least-loaded healthy active replica index, and
+// whether an unhealthy active replica had to be skipped to find it.
+// It returns -1 if no active replica is healthy.
+func (r *Redirector) pick() (best int, skippedUnhealthy bool) {
+	best = -1
 	for i := range r.devs {
 		if !r.active[i] {
+			continue
+		}
+		if !device.Healthy(r.devs[i]) {
+			skippedUnhealthy = true
 			continue
 		}
 		if best < 0 || r.outstanding[i] < r.outstanding[best] {
 			best = i
 		}
 	}
-	return best
+	return best, skippedUnhealthy
 }
 
 // Submit implements device.Device: the request goes to the least-loaded
-// active replica. If no replica is active (all forced to standby), the
-// first device is woken on demand and the wake is counted.
+// healthy active replica, failing over past dropped replicas. If no
+// active replica is available, a healthy standby replica is woken on
+// demand and the wake is counted; if every replica is unhealthy the
+// least-loaded one takes the IO anyway (it stalls there until the
+// replica recovers — the data exists nowhere else).
 func (r *Redirector) Submit(req device.Request, done func()) {
-	i := r.pick()
+	i, skipped := r.pick()
 	if i < 0 {
-		i = 0
 		r.WakesOnDemand++
+		for j := range r.devs {
+			if device.Healthy(r.devs[j]) && (i < 0 || r.outstanding[j] < r.outstanding[i]) {
+				i = j
+			}
+		}
+		if i < 0 {
+			// Total outage: park the IO on the least-loaded replica.
+			for j := range r.devs {
+				if i < 0 || r.outstanding[j] < r.outstanding[i] {
+					i = j
+				}
+			}
+		}
+	}
+	if skipped {
+		r.Failovers++
+		r.cFailovers.Inc()
 	}
 	r.outstanding[i]++
 	r.devs[i].Submit(req, func() {
 		r.outstanding[i]--
+		r.completed[i]++
 		done()
 	})
+}
+
+// CompletedByReplica returns per-replica completion counts, indexed
+// like Devices(). Chaos experiments use the deltas to show load
+// draining back onto a recovered replica.
+func (r *Redirector) CompletedByReplica() []int {
+	out := make([]int, len(r.completed))
+	copy(out, r.completed)
+	return out
 }
 
 // Name implements device.Device.

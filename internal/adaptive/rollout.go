@@ -81,15 +81,22 @@ func (d *Domain) CheckBreakers() []Violation {
 // Rollout plans the incremental deployment of power-adaptive control
 // below the lowest tier of the power hierarchy (§4.1): enable a few
 // leaf domains at a time, spread across parents so coordinated control
-// failures cannot concentrate in a single breaker domain.
+// failures cannot concentrate in a single breaker domain. Leaves whose
+// power audits fail are quarantined: disabled and excluded from every
+// later Stage call until explicitly reinstated.
 type Rollout struct {
-	root    *Domain
-	enabled map[*Domain]bool
+	root        *Domain
+	enabled     map[*Domain]bool
+	quarantined map[*Domain]bool
 }
 
 // NewRollout starts a rollout over the hierarchy with nothing enabled.
 func NewRollout(root *Domain) *Rollout {
-	return &Rollout{root: root, enabled: make(map[*Domain]bool)}
+	return &Rollout{
+		root:        root,
+		enabled:     make(map[*Domain]bool),
+		quarantined: make(map[*Domain]bool),
+	}
 }
 
 // Enabled reports whether a leaf domain runs power-adaptive control.
@@ -117,9 +124,13 @@ func (r *Rollout) Stage(n int) []*Domain {
 		leafChildren := bucket{parent: d}
 		for _, c := range d.Children {
 			if len(c.Children) == 0 {
-				if r.enabled[c] {
+				switch {
+				case r.enabled[c]:
 					leafChildren.on++
-				} else {
+				case r.quarantined[c]:
+					// Quarantined leaves neither count as deployed nor
+					// re-enter the pending pool.
+				default:
 					leafChildren.pending = append(leafChildren.pending, c)
 				}
 			} else {
@@ -132,7 +143,7 @@ func (r *Rollout) Stage(n int) []*Domain {
 		}
 	}
 	walk(r.root)
-	if len(r.root.Children) == 0 && !r.enabled[r.root] {
+	if len(r.root.Children) == 0 && !r.enabled[r.root] && !r.quarantined[r.root] {
 		// Degenerate hierarchy: the root is itself a leaf.
 		buckets = append(buckets, &bucket{parent: r.root, pending: []*Domain{r.root}})
 	}
@@ -175,6 +186,47 @@ func (r *Rollout) Halt(d *Domain) error {
 	}
 	delete(r.enabled, d)
 	return nil
+}
+
+// Quarantine disables an enabled leaf domain and bars it from future
+// Stage calls — the response to a failed power audit (§4.1): a domain
+// that demonstrably cannot control its power must not be retried
+// blindly at the next rollout step.
+func (r *Rollout) Quarantine(d *Domain) error {
+	if !r.enabled[d] {
+		return fmt.Errorf("adaptive: domain %s is not enabled", d.Name)
+	}
+	delete(r.enabled, d)
+	r.quarantined[d] = true
+	return nil
+}
+
+// Quarantined reports whether a leaf domain is quarantined.
+func (r *Rollout) Quarantined(d *Domain) bool { return r.quarantined[d] }
+
+// QuarantinedCount returns how many leaf domains are quarantined.
+func (r *Rollout) QuarantinedCount() int { return len(r.quarantined) }
+
+// Reinstate lifts a quarantine (after the underlying fault is fixed),
+// returning the leaf to the pending pool of future Stage calls.
+func (r *Rollout) Reinstate(d *Domain) error {
+	if !r.quarantined[d] {
+		return fmt.Errorf("adaptive: domain %s is not quarantined", d.Name)
+	}
+	delete(r.quarantined, d)
+	return nil
+}
+
+// AuditAndQuarantine audits the enabled leaves and quarantines every
+// failing one, returning them (sorted by name). This is the §4.1
+// containment loop in one call: identify local control failures, then
+// fence them off before they threaten a breaker budget.
+func (r *Rollout) AuditAndQuarantine(measure func(*Domain) float64, expectedW float64) []*Domain {
+	failing := r.Audit(measure, expectedW)
+	for _, d := range failing {
+		r.Quarantine(d)
+	}
+	return failing
 }
 
 // Audit returns the enabled leaf domains whose measured power exceeds

@@ -212,6 +212,15 @@ func (m *Model) Curtail(from Sample, reduceFrac float64) (CurtailmentPlan, error
 	if reduceFrac <= 0 || reduceFrac >= 1 {
 		return CurtailmentPlan{}, fmt.Errorf("core: power reduction %v out of (0,1)", reduceFrac)
 	}
+	// The plan's ThroughputKept and PowerReduction fractions divide by
+	// the from point's throughput and power; a degenerate from sample
+	// would make them NaN and poison every downstream aggregate.
+	if from.ThroughputMBps <= 0 {
+		return CurtailmentPlan{}, fmt.Errorf("core: curtailing from %v with zero throughput — no load to shed", from.Config)
+	}
+	if from.PowerW <= 0 {
+		return CurtailmentPlan{}, fmt.Errorf("core: curtailing from %v with non-positive power %v W", from.Config, from.PowerW)
+	}
 	budget := from.PowerW * (1 - reduceFrac)
 	to, ok := m.BestUnderPower(budget)
 	if !ok {

@@ -199,6 +199,17 @@ func TestCurtailValidation(t *testing.T) {
 	if _, err := m.Curtail(from, 0.99); err == nil {
 		t.Error("reduction below minimum power accepted")
 	}
+	// Degenerate from points: the plan's kept/reduction fractions
+	// divide by the from throughput and power, so zero either way
+	// must be a descriptive error rather than NaN.
+	idle := s("D", 0, 256, 64, 5.0, 0)
+	if _, err := m.Curtail(idle, 0.2); err == nil {
+		t.Error("zero-throughput from point accepted")
+	}
+	unpowered := s("D", 0, 256, 64, 0, 1000)
+	if _, err := m.Curtail(unpowered, 0.2); err == nil {
+		t.Error("zero-power from point accepted")
+	}
 }
 
 func TestFilter(t *testing.T) {

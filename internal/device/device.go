@@ -95,6 +95,27 @@ var (
 	ErrBadPowerState = errors.New("device: power state out of range")
 )
 
+// HealthReporter is implemented by devices that can become unavailable
+// — in practice fault-injection wrappers (internal/fault) whose dropout
+// or brownout windows take the command surface offline. Plain device
+// models never drop, so they do not implement it.
+type HealthReporter interface {
+	// Healthy reports whether the device is reachable right now. IO
+	// submitted to an unhealthy device is not lost, but it stalls until
+	// the device recovers; control-plane components should route around
+	// unhealthy devices instead.
+	Healthy() bool
+}
+
+// Healthy reports d's availability. Devices that do not implement
+// HealthReporter are always healthy.
+func Healthy(d Device) bool {
+	if h, ok := d.(HealthReporter); ok {
+		return h.Healthy()
+	}
+	return true
+}
+
 // Device is a simulated storage device attached to a sim.Engine. All
 // methods are event-loop-synchronous: they must be called from the
 // simulation goroutine, and completions are delivered as engine events.

@@ -18,13 +18,17 @@ type Scale struct {
 	Runtime    time.Duration
 	TotalBytes int64
 	Seed       uint64
+	// FaultSeed seeds the fault-injection RNG streams of the chaos
+	// experiment, independently of Seed so the same workload can be
+	// replayed under different fault draws (and vice versa).
+	FaultSeed uint64
 }
 
 // Paper is the published methodology's scale.
-var Paper = Scale{Runtime: time.Minute, TotalBytes: 4 << 30, Seed: 42}
+var Paper = Scale{Runtime: time.Minute, TotalBytes: 4 << 30, Seed: 42, FaultSeed: 1}
 
 // Quick is the test-suite scale.
-var Quick = Scale{Runtime: 2 * time.Second, TotalBytes: 256 << 20, Seed: 42}
+var Quick = Scale{Runtime: 2 * time.Second, TotalBytes: 256 << 20, Seed: 42, FaultSeed: 1}
 
 // Experiment is one regenerable paper artifact.
 type Experiment struct {

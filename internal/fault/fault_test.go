@@ -1,0 +1,264 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/device"
+	"wattio/internal/sim"
+	"wattio/internal/workload"
+)
+
+// newFaulted wraps a fresh SSD2 in a fault device; the fault RNG stream
+// is derived from the same root so runs are reproducible.
+func newFaulted(t *testing.T, p Profile) (*Device, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(7)
+	inner := catalog.NewSSD2(eng, rng.Stream("dev"))
+	d, err := New(inner, eng, rng.Stream("fault"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, eng
+}
+
+// oneIO submits a single 4 KiB read and drains the engine until it
+// completes, returning the completion latency.
+func oneIO(eng *sim.Engine, d device.Device) time.Duration {
+	start := eng.Now()
+	done := false
+	d.Submit(device.Request{Op: device.OpRead, Offset: 1 << 30, Size: 4096}, func() { done = true })
+	for !done && eng.Step() {
+	}
+	return eng.Now() - start
+}
+
+func TestEmptyProfileTransparent(t *testing.T) {
+	t.Parallel()
+	// The same workload with the same seeds must produce identical
+	// completions and energy whether or not the (empty) wrapper is
+	// in the path — the chaos plumbing must be happy-path neutral.
+	run := func(wrap bool) (int64, time.Duration, float64) {
+		eng := sim.NewEngine()
+		rng := sim.NewRNG(99)
+		var dev device.Device = catalog.NewSSD2(eng, rng.Stream("dev"))
+		if wrap {
+			dev = MustNew(dev, eng, rng.Stream("fault"), Profile{})
+		}
+		res := workload.Run(eng, dev, workload.Job{
+			Op: device.OpWrite, Pattern: workload.Rand, BS: 256 << 10, Depth: 32,
+			Runtime: 300 * time.Millisecond,
+		}, rng.Stream("wl"))
+		return res.IOs, eng.Now(), dev.EnergyJ()
+	}
+	ios0, now0, e0 := run(false)
+	ios1, now1, e1 := run(true)
+	if ios0 != ios1 || now0 != now1 || e0 != e1 {
+		t.Errorf("empty profile not transparent: IOs %d vs %d, end %v vs %v, energy %v vs %v",
+			ios0, ios1, now0, now1, e0, e1)
+	}
+}
+
+func TestLatencySpikeWindow(t *testing.T) {
+	t.Parallel()
+	d, eng := newFaulted(t, Profile{Windows: []Window{
+		{Kind: LatencySpike, Start: 0, Dur: 50 * time.Millisecond, Factor: 3, Extra: 2 * time.Millisecond},
+	}})
+	inside := oneIO(eng, d)
+	eng.RunUntil(60 * time.Millisecond)
+	outside := oneIO(eng, d)
+	if inside < outside+2*time.Millisecond {
+		t.Errorf("spiked latency %v not > clean latency %v + 2 ms extra", inside, outside)
+	}
+	if d.Injected(LatencySpike) != 1 {
+		t.Errorf("latency injections = %d, want 1", d.Injected(LatencySpike))
+	}
+	if d.Injected(IOError) != 0 || d.InjectedTotal() != 1 {
+		t.Errorf("unexpected other injections, total %d", d.InjectedTotal())
+	}
+}
+
+func TestIOErrorRetriesAreLatency(t *testing.T) {
+	t.Parallel()
+	// Prob 1 with the default MaxRetries=3 and RetryPenalty=500 µs
+	// means every IO inside the window pays exactly 1.5 ms extra.
+	d, eng := newFaulted(t, Profile{Windows: []Window{
+		{Kind: IOError, Start: 0, Dur: 50 * time.Millisecond, Prob: 1},
+	}})
+	inside := oneIO(eng, d)
+	eng.RunUntil(60 * time.Millisecond)
+	outside := oneIO(eng, d)
+	if got := inside - outside; got < 1400*time.Microsecond {
+		t.Errorf("transient-error IO only %v slower, want ≈1.5 ms of retries", got)
+	}
+	if d.Retries() != 3 {
+		t.Errorf("retries = %d, want 3 (MaxRetries at prob 1)", d.Retries())
+	}
+	if d.Injected(IOError) != 1 {
+		t.Errorf("ioerror injections = %d, want 1 (per IO, not per retry)", d.Injected(IOError))
+	}
+}
+
+func TestIOErrorDeterministicAcrossRuns(t *testing.T) {
+	t.Parallel()
+	run := func() (int, int, time.Duration) {
+		d, eng := newFaulted(t, Profile{Windows: []Window{
+			{Kind: IOError, Start: 0, Dur: time.Second, Prob: 0.4},
+		}})
+		for i := 0; i < 100; i++ {
+			oneIO(eng, d)
+		}
+		return d.Retries(), d.Injected(IOError), eng.Now()
+	}
+	r0, n0, t0 := run()
+	r1, n1, t1 := run()
+	if r0 != r1 || n0 != n1 || t0 != t1 {
+		t.Errorf("same seed diverged: retries %d vs %d, injected %d vs %d, end %v vs %v",
+			r0, r1, n0, n1, t0, t1)
+	}
+	if r0 == 0 {
+		t.Error("prob 0.4 over 100 IOs injected nothing")
+	}
+}
+
+func TestPowerCmdWindows(t *testing.T) {
+	t.Parallel()
+	d, eng := newFaulted(t, Profile{Windows: []Window{
+		{Kind: PowerCmdFail, Start: 0, Dur: 10 * time.Millisecond},
+		{Kind: PowerCmdTimeout, Start: 10 * time.Millisecond, Dur: 10 * time.Millisecond},
+	}})
+	if err := d.SetPowerState(1); !errors.Is(err, ErrCmdFail) || !errors.Is(err, ErrInjected) {
+		t.Errorf("in-window SetPowerState = %v, want ErrCmdFail wrapping ErrInjected", err)
+	}
+	if d.PowerStateIndex() != 0 {
+		t.Errorf("failed command changed state to %d", d.PowerStateIndex())
+	}
+	eng.RunUntil(15 * time.Millisecond)
+	if err := d.SetPowerState(1); !errors.Is(err, ErrCmdTimeout) {
+		t.Errorf("timeout-window SetPowerState = %v, want ErrCmdTimeout", err)
+	}
+	eng.RunUntil(25 * time.Millisecond)
+	if err := d.SetPowerState(1); err != nil {
+		t.Errorf("post-window SetPowerState failed: %v", err)
+	}
+	if d.PowerStateIndex() != 1 {
+		t.Errorf("state = %d, want 1", d.PowerStateIndex())
+	}
+	if d.Injected(PowerCmdFail) != 1 || d.Injected(PowerCmdTimeout) != 1 {
+		t.Errorf("injections fail/timeout = %d/%d, want 1/1",
+			d.Injected(PowerCmdFail), d.Injected(PowerCmdTimeout))
+	}
+}
+
+func TestDropoutHoldsIOAndControl(t *testing.T) {
+	t.Parallel()
+	const winEnd = 50 * time.Millisecond
+	d, eng := newFaulted(t, Profile{Windows: []Window{
+		{Kind: Dropout, Start: 0, Dur: winEnd},
+	}})
+	if d.Healthy() {
+		t.Error("Healthy() = true inside a dropout window")
+	}
+	if err := d.SetPowerState(1); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("SetPowerState during dropout = %v, want ErrUnavailable", err)
+	}
+	if err := d.EnterStandby(); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("EnterStandby during dropout = %v, want ErrUnavailable", err)
+	}
+	if err := d.Wake(); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("Wake during dropout = %v, want ErrUnavailable", err)
+	}
+
+	done := false
+	d.Submit(device.Request{Op: device.OpRead, Offset: 0, Size: 4096}, func() { done = true })
+	if d.Held() != 1 {
+		t.Errorf("Held() = %d, want 1", d.Held())
+	}
+	for !done && eng.Step() {
+	}
+	if !done {
+		t.Fatal("held IO never completed")
+	}
+	if eng.Now() < winEnd {
+		t.Errorf("held IO completed at %v, before the window end %v", eng.Now(), winEnd)
+	}
+	if !d.Healthy() {
+		t.Error("Healthy() = false after the dropout window")
+	}
+	if d.Held() != 0 {
+		t.Errorf("Held() = %d after release, want 0", d.Held())
+	}
+}
+
+func TestThermalBlocksPowerRaise(t *testing.T) {
+	t.Parallel()
+	d, eng := newFaulted(t, Profile{Windows: []Window{
+		{Kind: Thermal, Start: 0, Dur: 50 * time.Millisecond, Factor: 4},
+	}})
+	// Stepping down is always allowed — the throttle only refuses
+	// transitions that would raise power (lower state index).
+	if err := d.SetPowerState(2); err != nil {
+		t.Fatalf("down-transition during thermal window failed: %v", err)
+	}
+	if err := d.SetPowerState(0); !errors.Is(err, ErrThermal) {
+		t.Errorf("up-transition during thermal window = %v, want ErrThermal", err)
+	}
+	if d.PowerStateIndex() != 2 {
+		t.Errorf("state = %d, want 2", d.PowerStateIndex())
+	}
+	inside := oneIO(eng, d)
+	eng.RunUntil(60 * time.Millisecond)
+	outside := oneIO(eng, d)
+	if inside < outside*2 {
+		t.Errorf("throttled latency %v not ≥ 2× clean latency %v at factor 4", inside, outside)
+	}
+	eng.RunUntil(70 * time.Millisecond)
+	if err := d.SetPowerState(0); err != nil {
+		t.Errorf("post-window up-transition failed: %v", err)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(7)
+	inner := catalog.NewSSD2(eng, rng.Stream("dev"))
+	bad := []Profile{
+		{Windows: []Window{{Kind: Kind(99), Start: 0, Dur: time.Second}}},
+		{Windows: []Window{{Kind: Dropout, Start: -time.Second, Dur: time.Second}}},
+		{Windows: []Window{{Kind: Dropout, Start: 0, Dur: 0}}},
+		{Windows: []Window{{Kind: IOError, Start: 0, Dur: time.Second, Prob: 1.5}}},
+		{RetryPenalty: -time.Second},
+		{MaxRetries: -1},
+	}
+	for i, p := range bad {
+		if _, err := New(inner, eng, rng, p); err == nil {
+			t.Errorf("profile %d accepted: %+v", i, p)
+		}
+	}
+	// IOError windows draw from the RNG; a nil stream cannot be
+	// deterministic, so construction must refuse it.
+	p := Profile{Windows: []Window{{Kind: IOError, Start: 0, Dur: time.Second, Prob: 0.5}}}
+	if _, err := New(inner, eng, nil, p); err == nil {
+		t.Error("IOError window with nil RNG accepted")
+	}
+	if _, err := New(inner, eng, nil, Profile{}); err != nil {
+		t.Errorf("empty profile with nil RNG rejected: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	t.Parallel()
+	want := map[Kind]string{
+		LatencySpike: "latency", IOError: "ioerror", PowerCmdFail: "cmdfail",
+		PowerCmdTimeout: "cmdtimeout", Dropout: "dropout", Thermal: "thermal",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
