@@ -18,6 +18,7 @@ import (
 	"wattio/internal/experiments"
 	"wattio/internal/hdd"
 	"wattio/internal/measure"
+	"wattio/internal/serve"
 	"wattio/internal/sim"
 	"wattio/internal/ssd"
 	"wattio/internal/workload"
@@ -215,6 +216,29 @@ func BenchmarkStandby(b *testing.B) {
 		b.ReportMetric(r.SavedW, r.Device+"_saved_W")
 		b.ReportMetric(r.EnterTook.Seconds()+r.ExitTook.Seconds(), r.Device+"_roundtrip_s")
 	}
+}
+
+// BenchmarkFleetServe runs the fleet serving engine at the powerbench
+// -exp fleet defaults (stepped budget, no faults) and reports the
+// headline serving metrics; scripts/bench_fleet.sh turns the metrics
+// into BENCH_fleet.json for the CI bench-trajectory artifact.
+func BenchmarkFleetServe(b *testing.B) {
+	spec, err := experiments.FleetSpec(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *serve.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = serve.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.ThroughputMBps, "fleet_MBps")
+	b.ReportMetric(float64(rep.LatP99)/1e6, "fleet_p99_ms")
+	b.ReportMetric(rep.AvgPowerW, "fleet_avg_W")
+	b.ReportMetric(rep.WorstOverW, "fleet_worst_over_W")
+	b.ReportMetric(float64(rep.Rejected), "fleet_rejected")
 }
 
 // --- Ablations -----------------------------------------------------------

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,29 +28,41 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	switch os.Args[1] {
-	case "build":
-		build(os.Args[2:])
-	case "info":
-		info(os.Args[2:])
-	case "plan":
-		plan(os.Args[2:])
-	case "curtail":
-		curtail(os.Args[2:])
-	case "slo":
-		slo(os.Args[2:])
-	default:
-		usage()
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+// run dispatches a powerfleet invocation; subcommands print results to
+// out and return errors instead of exiting, so tests can drive the CLI
+// end to end.
+func run(argv []string, out, errw io.Writer) int {
+	if len(argv) < 1 {
+		usage(errw)
+		return 2
+	}
+	cmds := map[string]func([]string, io.Writer) error{
+		"build":   build,
+		"info":    info,
+		"plan":    plan,
+		"curtail": curtail,
+		"slo":     slo,
+	}
+	cmd, ok := cmds[argv[0]]
+	if !ok {
+		usage(errw)
+		return 2
+	}
+	if err := cmd(argv[1:], out); err != nil {
+		if err == flag.ErrHelp {
+			return 2
+		}
+		fmt.Fprintf(errw, "powerfleet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
   powerfleet build -device <name> -o <file> [-rw randwrite] [-runtime 10s] [-bytes 2147483648] [-seed 42]
   powerfleet info <model.json>...
   powerfleet plan -budget <watts> <model.json>...
@@ -57,35 +70,48 @@ func usage() {
   powerfleet slo [-budget W] [-p99 dur] [-avg dur] [-minmbps N] <model.json>`)
 }
 
-func loadModels(paths []string) []*core.Model {
+// newFlagSet builds a subcommand flag set that reports parse errors as
+// returned errors rather than exiting the process.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// loadModels reads and validates model files. A malformed, truncated,
+// or version-skewed file fails with the path attached — it must never
+// pass as an empty model and produce a silent zero-value plan.
+func loadModels(paths []string) ([]*core.Model, error) {
 	if len(paths) == 0 {
-		fatal("need at least one model file")
+		return nil, fmt.Errorf("need at least one model file")
 	}
 	out := make([]*core.Model, 0, len(paths))
 	for _, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
-			fatal("%v", err)
+			return nil, err
 		}
 		m, err := core.Load(f)
 		f.Close()
 		if err != nil {
-			fatal("%s: %v", p, err)
+			return nil, fmt.Errorf("%s: %w", p, err)
 		}
 		out = append(out, m)
 	}
-	return out
+	return out, nil
 }
 
-func build(args []string) {
-	fs := flag.NewFlagSet("build", flag.ExitOnError)
+func build(args []string, out io.Writer) error {
+	fs := newFlagSet("build")
 	dev := fs.String("device", "SSD2", "device model: "+strings.Join(catalog.Names(), ", "))
-	out := fs.String("o", "", "output file (default <device>.json)")
+	outPath := fs.String("o", "", "output file (default <device>.json)")
 	rw := fs.String("rw", "randwrite", "workload for the grid: randwrite, randread, write, read")
 	runtime := fs.Duration("runtime", 10*time.Second, "per-point runtime bound")
 	bytes := fs.Int64("bytes", 2<<30, "per-point byte bound")
 	seed := fs.Uint64("seed", 42, "random seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	op, pat := device.OpWrite, workload.Rand
 	switch *rw {
@@ -97,75 +123,96 @@ func build(args []string) {
 	case "read":
 		op, pat = device.OpRead, workload.Seq
 	default:
-		fatal("unknown -rw %q", *rw)
+		return fmt.Errorf("unknown -rw %q", *rw)
 	}
 	fmt.Fprintf(os.Stderr, "sweeping %s (%s grid, %v/%d bytes per point)...\n", *dev, *rw, *runtime, *bytes)
 	m, err := sweep.BuildModel(*dev, op, pat, *seed, *runtime, *bytes)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
-	path := *out
+	path := *outPath
 	if path == "" {
 		path = strings.ToLower(*dev) + ".json"
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
-	defer f.Close()
 	if err := m.Save(f); err != nil {
-		fatal("%v", err)
+		f.Close()
+		return err
 	}
-	fmt.Printf("wrote %s: %d operating points, power %.2f-%.2f W, max %.0f MB/s\n",
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d operating points, power %.2f-%.2f W, max %.0f MB/s\n",
 		path, len(m.Samples()), m.MinPowerW(), m.MaxPowerW(), m.MaxThroughputMBps())
+	return nil
 }
 
-func info(args []string) {
-	for _, m := range loadModels(args) {
-		fmt.Printf("%s: %d points\n", m.Device(), len(m.Samples()))
-		fmt.Printf("  power %.2f-%.2f W (dynamic range %.1f%% of max)\n",
+func info(args []string, out io.Writer) error {
+	models, err := loadModels(args)
+	if err != nil {
+		return err
+	}
+	for _, m := range models {
+		fmt.Fprintf(out, "%s: %d points\n", m.Device(), len(m.Samples()))
+		fmt.Fprintf(out, "  power %.2f-%.2f W (dynamic range %.1f%% of max)\n",
 			m.MinPowerW(), m.MaxPowerW(), 100*m.DynamicRangeFrac())
-		fmt.Printf("  throughput ≤ %.0f MB/s\n", m.MaxThroughputMBps())
-		fmt.Printf("  Pareto frontier:\n")
+		fmt.Fprintf(out, "  throughput ≤ %.0f MB/s\n", m.MaxThroughputMBps())
+		fmt.Fprintf(out, "  Pareto frontier:\n")
 		for _, s := range m.ParetoFrontier() {
-			fmt.Printf("    %6.2f W  %8.0f MB/s  %v\n", s.PowerW, s.ThroughputMBps, s.Config)
+			fmt.Fprintf(out, "    %6.2f W  %8.0f MB/s  %v\n", s.PowerW, s.ThroughputMBps, s.Config)
 		}
 	}
+	return nil
 }
 
-func plan(args []string) {
-	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+func plan(args []string, out io.Writer) error {
+	fs := newFlagSet("plan")
 	budget := fs.Float64("budget", 0, "fleet power budget in watts")
-	fs.Parse(args)
-	if *budget <= 0 {
-		fatal("plan needs -budget")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	fleet, err := core.NewFleet(loadModels(fs.Args())...)
+	if *budget <= 0 {
+		return fmt.Errorf("plan needs -budget")
+	}
+	models, err := loadModels(fs.Args())
 	if err != nil {
-		fatal("%v", err)
+		return err
+	}
+	fleet, err := core.NewFleet(models...)
+	if err != nil {
+		return err
 	}
 	a, ok := fleet.BestUnderPower(*budget)
 	if !ok {
-		fatal("no assignment fits %.2f W (fleet minimum is above it)", *budget)
+		return fmt.Errorf("no assignment fits %.2f W (fleet minimum is above it)", *budget)
 	}
-	fmt.Printf("budget %.2f W → plan %.2f W, %.0f MB/s\n", *budget, a.TotalPowerW, a.TotalMBps)
+	fmt.Fprintf(out, "budget %.2f W → plan %.2f W, %.0f MB/s\n", *budget, a.TotalPowerW, a.TotalMBps)
 	for _, m := range fleet.Models() {
 		s := a.Configs[m.Device()]
-		fmt.Printf("  %-6s ps%d, chunk %d KiB, qd %d  (%.2f W, %.0f MB/s)\n",
+		fmt.Fprintf(out, "  %-6s ps%d, chunk %d KiB, qd %d  (%.2f W, %.0f MB/s)\n",
 			m.Device(), s.PowerState, s.ChunkBytes/1024, s.Depth, s.PowerW, s.ThroughputMBps)
 	}
+	return nil
 }
 
-func curtail(args []string) {
-	fs := flag.NewFlagSet("curtail", flag.ExitOnError)
+func curtail(args []string, out io.Writer) error {
+	fs := newFlagSet("curtail")
 	reduce := fs.Float64("reduce", 0.2, "power reduction fraction (0,1)")
 	chunk := fs.Int64("chunk", 256<<10, "current chunk size in bytes")
 	depth := fs.Int("depth", 64, "current queue depth")
 	ps := fs.Int("ps", 0, "current power state")
-	fs.Parse(args)
-	models := loadModels(fs.Args())
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	models, err := loadModels(fs.Args())
+	if err != nil {
+		return err
+	}
 	if len(models) != 1 {
-		fatal("curtail takes exactly one model")
+		return fmt.Errorf("curtail takes exactly one model")
 	}
 	m := models[0]
 	var from core.Sample
@@ -177,50 +224,52 @@ func curtail(args []string) {
 		}
 	}
 	if !found {
-		fatal("no operating point ps%d/%dB/qd%d in the model", *ps, *chunk, *depth)
+		return fmt.Errorf("no operating point ps%d/%dB/qd%d in the model", *ps, *chunk, *depth)
 	}
 	planned, err := m.Curtail(from, *reduce)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
-	fmt.Printf("from %v: %.2f W, %.0f MB/s\n", planned.From.Config, planned.From.PowerW, planned.From.ThroughputMBps)
-	fmt.Printf("to   %v: %.2f W, %.0f MB/s\n", planned.To.Config, planned.To.PowerW, planned.To.ThroughputMBps)
-	fmt.Printf("sheds %.2f W (%.0f%%); curtail %.0f MB/s of best-effort load (keep %.0f%% throughput)\n",
+	fmt.Fprintf(out, "from %v: %.2f W, %.0f MB/s\n", planned.From.Config, planned.From.PowerW, planned.From.ThroughputMBps)
+	fmt.Fprintf(out, "to   %v: %.2f W, %.0f MB/s\n", planned.To.Config, planned.To.PowerW, planned.To.ThroughputMBps)
+	fmt.Fprintf(out, "sheds %.2f W (%.0f%%); curtail %.0f MB/s of best-effort load (keep %.0f%% throughput)\n",
 		planned.PowerSavedW, 100*planned.PowerReduction, planned.CurtailMBps, 100*planned.ThroughputKept)
+	return nil
 }
 
-func slo(args []string) {
-	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+func slo(args []string, out io.Writer) error {
+	fs := newFlagSet("slo")
 	budget := fs.Float64("budget", 0, "power budget in watts (0 = unconstrained)")
 	p99 := fs.Duration("p99", 0, "maximum p99 latency")
 	avg := fs.Duration("avg", 0, "maximum average latency")
 	minMBps := fs.Float64("minmbps", 0, "minimum throughput")
-	fs.Parse(args)
-	models := loadModels(fs.Args())
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	models, err := loadModels(fs.Args())
+	if err != nil {
+		return err
+	}
 	if len(models) != 1 {
-		fatal("slo takes exactly one model")
+		return fmt.Errorf("slo takes exactly one model")
 	}
 	m := models[0]
 	obj := core.SLO{MaxAvgLat: *avg, MaxP99Lat: *p99, MinMBps: *minMBps}
-	fmt.Printf("SLO: %v\n", obj)
+	fmt.Fprintf(out, "SLO: %v\n", obj)
 	if *budget > 0 {
 		if s, ok := m.BestUnderPowerSLO(*budget, obj); ok {
-			fmt.Printf("best under %.2f W: %v → %.2f W, %.0f MB/s (p99 %v)\n",
+			fmt.Fprintf(out, "best under %.2f W: %v → %.2f W, %.0f MB/s (p99 %v)\n",
 				*budget, s.Config, s.PowerW, s.ThroughputMBps, s.P99Lat)
 		} else {
-			fmt.Printf("no operating point fits %.2f W under this SLO\n", *budget)
+			fmt.Fprintf(out, "no operating point fits %.2f W under this SLO\n", *budget)
 		}
-		return
+		return nil
 	}
 	if s, ok := m.MinPowerSLO(obj); ok {
-		fmt.Printf("lowest power meeting SLO: %v → %.2f W, %.0f MB/s (p99 %v)\n",
+		fmt.Fprintf(out, "lowest power meeting SLO: %v → %.2f W, %.0f MB/s (p99 %v)\n",
 			s.Config, s.PowerW, s.ThroughputMBps, s.P99Lat)
 	} else {
-		fmt.Println("no operating point meets this SLO")
+		fmt.Fprintln(out, "no operating point meets this SLO")
 	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "powerfleet: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

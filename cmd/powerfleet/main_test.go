@@ -1,0 +1,179 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wattio/internal/core"
+)
+
+// writeModel saves a small two-state model for dev into dir and returns
+// its path.
+func writeModel(t *testing.T, dir, dev string) string {
+	t.Helper()
+	samples := []core.Sample{
+		{
+			Config: core.Config{Device: dev, PowerState: 0, Random: true, Write: true, ChunkBytes: 256 << 10, Depth: 64},
+			PowerW: 12, ThroughputMBps: 3000, AvgLat: 200 * time.Microsecond, P99Lat: time.Millisecond,
+		},
+		{
+			Config: core.Config{Device: dev, PowerState: 2, Random: true, Write: true, ChunkBytes: 256 << 10, Depth: 64},
+			PowerW: 6, ThroughputMBps: 1500, AvgLat: 400 * time.Microsecond, P99Lat: 4 * time.Millisecond,
+		},
+	}
+	m, err := core.NewModel(dev, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, strings.ToLower(dev)+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCLI drives the powerfleet dispatcher exactly as main does and
+// returns the exit code with both output streams.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestInfo(t *testing.T) {
+	dir := t.TempDir()
+	path := writeModel(t, dir, "SSD2")
+	code, out, stderr := runCLI("info", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"SSD2: 2 points", "Pareto frontier", "12.00 W", "3000 MB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanTwoModels(t *testing.T) {
+	dir := t.TempDir()
+	a := writeModel(t, dir, "SSD1")
+	b := writeModel(t, dir, "SSD2")
+
+	code, out, stderr := runCLI("plan", "-budget", "18", a, b)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	// 18 W fits one device at ps0 (12 W) plus one at ps2 (6 W).
+	if !strings.Contains(out, "plan 18.00 W, 4500 MB/s") {
+		t.Errorf("unexpected plan:\n%s", out)
+	}
+
+	if code, _, stderr := runCLI("plan", "-budget", "5", a, b); code == 0 {
+		t.Error("infeasible budget planned successfully")
+	} else if !strings.Contains(stderr, "no assignment fits") {
+		t.Errorf("unhelpful infeasibility error: %s", stderr)
+	}
+}
+
+func TestPlanNeedsBudget(t *testing.T) {
+	dir := t.TempDir()
+	path := writeModel(t, dir, "SSD2")
+	if code, _, stderr := runCLI("plan", path); code == 0 || !strings.Contains(stderr, "-budget") {
+		t.Errorf("missing -budget not rejected: exit %d, stderr %s", code, stderr)
+	}
+}
+
+func TestCurtailAndSLO(t *testing.T) {
+	dir := t.TempDir()
+	path := writeModel(t, dir, "SSD2")
+
+	code, out, stderr := runCLI("curtail", "-reduce", "0.4", path)
+	if code != 0 {
+		t.Fatalf("curtail exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "sheds") {
+		t.Errorf("curtail output:\n%s", out)
+	}
+
+	code, out, stderr = runCLI("slo", "-p99", "2ms", path)
+	if code != 0 {
+		t.Fatalf("slo exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "ps0") {
+		t.Errorf("slo should pick ps0 (only state meeting 2ms p99):\n%s", out)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if code, _, stderr := runCLI("frobnicate"); code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Errorf("unknown subcommand: exit %d, stderr %s", code, stderr)
+	}
+	if code, _, _ := runCLI(); code != 2 {
+		t.Errorf("bare invocation should exit 2, got %d", code)
+	}
+}
+
+// TestBadModelFiles is the regression suite for model-load failure
+// modes: every corrupt input must produce a clear error naming the
+// file and a non-zero exit — never a panic or a silent zero-value plan.
+func TestBadModelFiles(t *testing.T) {
+	dir := t.TempDir()
+	good, err := os.ReadFile(writeModel(t, dir, "SSD2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		content string
+		wantErr string
+	}{
+		{"empty file", "", "decoding model"},
+		{"malformed json", "{not json", "decoding model"},
+		{"truncated", string(good[:len(good)/2]), "decoding model"},
+		{"trailing garbage", string(good) + "{\"version\":1}", "trailing data"},
+		{"wrong version", `{"version":99,"device":"X","samples":[{"power_state":0,"power_w":1,"mbps":1}]}`, "version 99"},
+		{"unknown field", `{"version":1,"device":"X","zap":1,"samples":[]}`, "decoding model"},
+		{"no samples", `{"version":1,"device":"X","samples":[]}`, "at least one sample"},
+		{"zero power", `{"version":1,"device":"X","samples":[{"power_state":0,"power_w":0,"mbps":10}]}`, "non-positive power"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, "bad.json")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			for _, sub := range []string{"info", "plan"} {
+				args := []string{sub, path}
+				if sub == "plan" {
+					args = []string{sub, "-budget", "10", path}
+				}
+				code, out, stderr := runCLI(args...)
+				if code == 0 {
+					t.Fatalf("%s accepted corrupt model; stdout:\n%s", sub, out)
+				}
+				if !strings.Contains(stderr, tc.wantErr) {
+					t.Errorf("%s error %q does not mention %q", sub, stderr, tc.wantErr)
+				}
+				if !strings.Contains(stderr, "bad.json") {
+					t.Errorf("%s error does not name the file: %s", sub, stderr)
+				}
+			}
+		})
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	code, _, stderr := runCLI("info", filepath.Join(t.TempDir(), "nope.json"))
+	if code == 0 || !strings.Contains(stderr, "nope.json") {
+		t.Errorf("missing file: exit %d, stderr %s", code, stderr)
+	}
+}

@@ -298,6 +298,40 @@ func ByName(name string, eng *sim.Engine, rng *sim.RNG) (device.Device, bool) {
 // the 860 EVO standby subject, and the client C960 APST extension.
 func Names() []string { return []string{"SSD1", "SSD2", "SSD3", "HDD", "EVO", "C960"} }
 
+// NewNamed builds one device from a catalog profile under a caller-
+// chosen instance name. Fleet-scale layers (internal/serve) instantiate
+// hundreds of devices from the same profile; each needs a unique name
+// because models, budget controllers, and telemetry lanes key on it.
+func NewNamed(profile, name string, eng *sim.Engine, rng *sim.RNG) (device.Device, bool) {
+	switch profile {
+	case "SSD1", "SSD2", "SSD3", "EVO", "C960":
+		var cfg ssd.Config
+		switch profile {
+		case "SSD1":
+			cfg = SSD1Config()
+		case "SSD2":
+			cfg = SSD2Config()
+		case "SSD3":
+			cfg = SSD3Config()
+		case "EVO":
+			cfg = EVOConfig()
+		case "C960":
+			cfg = C960Config()
+		}
+		cfg.Name = name
+		return mustSSD(cfg, eng, rng), true
+	case "HDD":
+		cfg := HDDConfig()
+		cfg.Name = name
+		d, err := hdd.New(cfg, eng, rng)
+		if err != nil {
+			panic(err) // calibrated config; cannot fail
+		}
+		return d, true
+	}
+	return nil, false
+}
+
 func mustSSD(cfg ssd.Config, eng *sim.Engine, rng *sim.RNG) *ssd.SSD {
 	d, err := ssd.New(cfg, eng, rng)
 	if err != nil {

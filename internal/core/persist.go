@@ -63,6 +63,13 @@ func Load(r io.Reader) (*Model, error) {
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("core: decoding model: %w", err)
 	}
+	// A model file is exactly one document. json.Decoder stops at the
+	// end of the first value, so without this check a file with junk
+	// appended — a failed concatenation, a partial overwrite — would
+	// load silently.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("core: trailing data after model document")
+	}
 	if doc.Version != persistVersion {
 		return nil, fmt.Errorf("core: model version %d, this build reads %d", doc.Version, persistVersion)
 	}

@@ -60,6 +60,8 @@ func TestLoadRejectsBadInput(t *testing.T) {
 		"unknown field": `{"version": 1, "device": "D", "surprise": true, "samples": []}`,
 		"no samples":    `{"version": 1, "device": "D", "samples": []}`,
 		"bad power":     `{"version": 1, "device": "D", "samples": [{"power_w": 0, "mbps": 1}]}`,
+		"trailing data": `{"version": 1, "device": "D", "samples": [{"power_w": 1, "mbps": 1}]}{"version": 1}`,
+		"truncated":     `{"version": 1, "device": "D", "samples": [{"power_w": 1,`,
 	}
 	for name, in := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,63 @@
+// Package detcheck asserts the repository's determinism contract: a
+// parallel computation must produce bit-identical results regardless of
+// host scheduling. Both the sweep grid and the serving engine promise
+// this (independent engines with derived seeds, order-stable merges),
+// and their regression tests share this helper so the contract is
+// checked the same way everywhere.
+package detcheck
+
+import (
+	"reflect"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// Config tunes an Assert call.
+type Config[T any] struct {
+	// Procs lists GOMAXPROCS values to pin for additional runs beyond
+	// the two at the ambient setting. Nil defaults to {1}.
+	Procs []int
+	// Diff, when set, narrows a failure down to the first divergent
+	// element; reflect.DeepEqual already decided the results differ.
+	Diff func(t testing.TB, a, b T)
+}
+
+// Assert runs produce twice at the ambient GOMAXPROCS and once at each
+// pinned value in cfg.Procs, and fails the test unless every result is
+// deeply equal to the first. It must not be called from a parallel
+// test: pinning GOMAXPROCS is process-global.
+func Assert[T any](t testing.TB, produce func() (T, error), cfg Config[T]) {
+	t.Helper()
+	procs := cfg.Procs
+	if procs == nil {
+		procs = []int{1}
+	}
+
+	ref, err := produce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		got, err := produce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("determinism violated: %s run differs from reference", label)
+			if cfg.Diff != nil {
+				cfg.Diff(t, ref, got)
+			}
+		}
+	}
+
+	check("repeat")
+	for _, p := range procs {
+		prev := runtime.GOMAXPROCS(p)
+		func() {
+			defer runtime.GOMAXPROCS(prev)
+			check("GOMAXPROCS=" + strconv.Itoa(p))
+		}()
+	}
+}

@@ -18,10 +18,30 @@ type Scale struct {
 	Runtime    time.Duration
 	TotalBytes int64
 	Seed       uint64
-	// FaultSeed seeds the fault-injection RNG streams of the chaos
-	// experiment, independently of Seed so the same workload can be
-	// replayed under different fault draws (and vice versa).
+	// FaultSeed seeds the fault-injection RNG streams of the chaos and
+	// fleet experiments, independently of Seed so the same workload can
+	// be replayed under different fault draws (and vice versa).
 	FaultSeed uint64
+	// Fleet carries the serving-engine knobs of the fleet experiment;
+	// zero values take that experiment's defaults.
+	Fleet FleetOptions
+}
+
+// FleetOptions parameterizes the fleet serving experiment — the knobs
+// cmd/powerbench exposes as flags. Zero values take defaults.
+type FleetOptions struct {
+	// Size is the number of devices in the fleet.
+	Size int
+	// Replicas is the mirror-group size (1 = no redirection).
+	Replicas int
+	// RateIOPS is the open-loop arrival rate per active device.
+	RateIOPS float64
+	// Budget is a serve.ParseSchedule budget schedule ("0s:640,1s:448",
+	// with a "pd" per-device suffix); empty takes a stepped default.
+	Budget string
+	// FaultFrac is the fraction of devices given an injected fault
+	// window, drawn from FaultSeed.
+	FaultFrac float64
 }
 
 // Paper is the published methodology's scale.

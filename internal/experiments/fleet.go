@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"wattio/internal/serve"
+)
+
+func init() {
+	register("fleet", "Fleet serving: sharded scheduler under a stepped power budget", runFleet)
+}
+
+// Fleet experiment defaults. The stepped schedule walks the fleet down
+// to its low-power plan and partway back up, so one run shows both a
+// curtailment (load shed, tail inflation) and a recovery.
+const (
+	fleetDefaultSize = 64
+	fleetDefaultRate = 7000 // IOPS per active device, ~1.8 GB/s demand: above the ps2 saturated rate, below ps0's
+	fleetHighPD      = 14.6 // W per device: everything at ps0
+	fleetLowPD       = 10.5 // forces most of the fleet to ps2
+	fleetMidPD       = 12.0 // recovery: ps1 becomes affordable
+)
+
+// FleetSpec translates a Scale into the serving-engine spec the fleet
+// experiment runs, applying the experiment's defaults. Exported so
+// bench_test.go benchmarks exactly what powerbench runs.
+func FleetSpec(s Scale) (serve.Spec, error) {
+	o := s.Fleet
+	if o.Size == 0 {
+		o.Size = fleetDefaultSize
+	}
+	if o.RateIOPS == 0 {
+		o.RateIOPS = fleetDefaultRate
+	}
+	spec := serve.Spec{
+		Size:            o.Size,
+		Replicas:        o.Replicas,
+		RateIOPS:        o.RateIOPS,
+		Horizon:         s.Runtime,
+		Seed:            s.Seed,
+		FaultSeed:       s.FaultSeed,
+		FaultFrac:       o.FaultFrac,
+		CheckInvariants: true,
+	}
+	if o.Budget != "" {
+		b, err := serve.ParseSchedule(o.Budget, o.Size)
+		if err != nil {
+			return serve.Spec{}, err
+		}
+		spec.Budget = b
+	} else {
+		pd := float64(o.Size)
+		spec.Budget = []serve.BudgetStep{
+			{At: 0, FleetW: fleetHighPD * pd},
+			{At: s.Runtime / 3, FleetW: fleetLowPD * pd},
+			{At: 2 * s.Runtime / 3, FleetW: fleetMidPD * pd},
+		}
+	}
+	return spec, nil
+}
+
+func runFleet(s Scale, w io.Writer) error {
+	spec, err := FleetSpec(s)
+	if err != nil {
+		return err
+	}
+	rep, err := serve.Run(spec)
+	if err != nil {
+		return err
+	}
+
+	section(w, "Fleet serving under a stepped power budget")
+	fmt.Fprintf(w, "fleet: %d devices in %d groups across %d shards (replicas %d, faulted %d)\n",
+		rep.Devices, rep.Groups, rep.Shards, rep.Devices/rep.Groups, rep.Faulted)
+	fmt.Fprintf(w, "requests: offered %d, admitted %d, rejected %d, completed %d (%d batches)\n",
+		rep.Offered, rep.Admitted, rep.Rejected, rep.Completed, rep.Batches)
+	fmt.Fprintf(w, "throughput: %.0f MB/s aggregate   latency p50 %v  p99 %v  max %v\n",
+		rep.ThroughputMBps, rep.LatP50.Round(time.Microsecond),
+		rep.LatP99.Round(time.Microsecond), rep.LatMax.Round(time.Microsecond))
+
+	fmt.Fprintf(w, "\n%-12s %10s %12s %12s\n", "window", "budget W", "achieved W", "tracked")
+	for _, seg := range fleetSegments(rep.Intervals) {
+		tracked := "-"
+		if seg.checked > 0 {
+			tracked = fmt.Sprintf("%.1f", seg.checkedW)
+		}
+		fmt.Fprintf(w, "%-12s %10.1f %12.1f %12s\n",
+			fmt.Sprintf("%v+", seg.start.Round(time.Millisecond)), seg.budgetW, seg.avgW, tracked)
+	}
+	fmt.Fprintf(w, "\npower: avg %.1f W, worst checked overshoot %.1f W, tracking %s (tol %.0f%%)\n",
+		rep.AvgPowerW, rep.WorstOverW, okStr(rep.TrackOK), 100*0.10)
+	fmt.Fprintf(w, "control: %d re-plans (%d infeasible), governor steps %d / retries %d / failures %d, compensations %d\n",
+		rep.Replans, rep.Infeasible, rep.GovSteps, rep.GovRetries, rep.GovFailures, rep.Compensations)
+	fmt.Fprintf(w, "faults: %d devices faulted, %d failovers, %d wakes on demand\n",
+		rep.Faulted, rep.Failovers, rep.WakesOnDemand)
+	fmt.Fprintf(w, "invariants: power-cap probe %s (worst window %.1f W)\n", okStr(rep.CapOK), rep.CapWorstW)
+
+	if !rep.CapOK {
+		return fmt.Errorf("fleet: sliding-window power-cap invariant fired: worst window %.1f W", rep.CapWorstW)
+	}
+	if !rep.TrackOK {
+		return fmt.Errorf("fleet: achieved power missed budget by %.1f W", rep.WorstOverW)
+	}
+	return nil
+}
+
+// fleetSegment aggregates the control intervals sharing one budget step.
+type fleetSegment struct {
+	start    time.Duration
+	budgetW  float64
+	avgW     float64 // mean achieved over all intervals in the segment
+	checkedW float64 // mean achieved over tracked intervals only
+	n        int
+	checked  int
+}
+
+func fleetSegments(ivs []serve.Interval) []fleetSegment {
+	var segs []fleetSegment
+	for _, iv := range ivs {
+		if len(segs) == 0 || segs[len(segs)-1].budgetW != iv.BudgetW {
+			segs = append(segs, fleetSegment{start: iv.Start, budgetW: iv.BudgetW})
+		}
+		s := &segs[len(segs)-1]
+		s.avgW += iv.AchievedW
+		s.n++
+		if iv.Checked {
+			s.checkedW += iv.AchievedW
+			s.checked++
+		}
+	}
+	for i := range segs {
+		segs[i].avgW /= float64(segs[i].n)
+		if segs[i].checked > 0 {
+			segs[i].checkedW /= float64(segs[i].checked)
+		}
+	}
+	return segs
+}
+
+func okStr(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "FAILED"
+}

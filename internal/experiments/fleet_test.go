@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fleetScale keeps the serving run small enough for the unit suite
+// while still exercising replication, faults, and all three budget
+// phases.
+var fleetScale = Scale{
+	Runtime:   600 * time.Millisecond,
+	Seed:      42,
+	FaultSeed: 1,
+	Fleet:     FleetOptions{Size: 12, Replicas: 2, RateIOPS: 9000, FaultFrac: 0.25},
+}
+
+func TestFleetRuns(t *testing.T) {
+	e, ok := ByID("fleet")
+	if !ok {
+		t.Fatal("fleet experiment not registered")
+	}
+	var sb strings.Builder
+	if err := e.Run(fleetScale, &sb); err != nil {
+		t.Fatalf("fleet: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"== Fleet serving", "throughput:", "budget W", "tracking OK", "power-cap probe OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFleetDeterministicOutput pins the experiment's whole report: two
+// runs must print byte-identical text, faults included.
+func TestFleetDeterministicOutput(t *testing.T) {
+	e, _ := ByID("fleet")
+	var a, b strings.Builder
+	if err := e.Run(fleetScale, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(fleetScale, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("fleet output not reproducible:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+}
+
+func TestFleetBadBudgetFlag(t *testing.T) {
+	e, _ := ByID("fleet")
+	s := fleetScale
+	s.Fleet.Budget = "0s:nonsense"
+	var sb strings.Builder
+	if err := e.Run(s, &sb); err == nil {
+		t.Fatal("malformed budget schedule accepted")
+	}
+}
+
+func TestFleetSpecDefaults(t *testing.T) {
+	spec, err := FleetSpec(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Size != fleetDefaultSize || spec.RateIOPS != fleetDefaultRate {
+		t.Fatalf("defaults not applied: %+v", spec)
+	}
+	if len(spec.Budget) != 3 {
+		t.Fatalf("default schedule has %d steps, want 3", len(spec.Budget))
+	}
+	if spec.Budget[1].FleetW >= spec.Budget[0].FleetW || spec.Budget[2].FleetW <= spec.Budget[1].FleetW {
+		t.Fatalf("default schedule is not a curtail-then-recover walk: %+v", spec.Budget)
+	}
+}

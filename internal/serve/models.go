@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+
+	"wattio/internal/core"
+)
+
+// Planning models: compact per-profile power-throughput models the
+// serving engine's budget controller plans over, one sample per
+// host-selectable power state. The numbers are the calibrated device
+// models' measured saturated behavior under the engine's default
+// workload (random write, 256 KiB, qd 64, 3 s window) — the same
+// operating points a production deployment would load from a powerfleet
+// measurement campaign. Planning from a compact model while the full device model
+// serves the IO is exactly the paper's split between the modeling study
+// (§3.3) and the system that consumes it (§4); the gap between the two
+// is what the per-device governors absorb.
+type planPoint struct {
+	ps      int
+	powerW  float64
+	tputMB  float64
+}
+
+var planningTable = map[string][]planPoint{
+	"SSD1": {{0, 7.9, 3320}, {1, 7.1, 2680}, {2, 5.9, 1910}},
+	"SSD2": {{0, 14.4, 3100}, {1, 11.7, 2230}, {2, 9.7, 1590}},
+	"SSD3": {{0, 3.1, 500}},
+	"HDD":  {{0, 4.3, 80}},
+	"EVO":  {{0, 1.9, 350}},
+	"C960": {{0, 4.2, 1580}, {1, 4.1, 1580}, {2, 3.8, 1450}},
+}
+
+// planningModel builds the planning model for one fleet device
+// instance. The sample Device field carries the instance name, not the
+// profile, because fleets and budget controllers key on it.
+func planningModel(profile, instance string) (*core.Model, error) {
+	points, ok := planningTable[profile]
+	if !ok {
+		return nil, fmt.Errorf("serve: no planning model for profile %q", profile)
+	}
+	samples := make([]core.Sample, len(points))
+	for i, p := range points {
+		samples[i] = core.Sample{
+			Config: core.Config{
+				Device:     instance,
+				PowerState: p.ps,
+				Random:     true,
+				Write:      true,
+				ChunkBytes: 256 << 10,
+				Depth:      64,
+			},
+			PowerW:         p.powerW,
+			ThroughputMBps: p.tputMB,
+		}
+	}
+	return core.NewModel(instance, samples)
+}
+
+// profileMaxW returns the highest planning-model power of a profile —
+// the per-device contribution to the "never binds" default budget.
+func profileMaxW(profile string) float64 {
+	var maxW float64
+	for _, p := range planningTable[profile] {
+		if p.powerW > maxW {
+			maxW = p.powerW
+		}
+	}
+	return maxW
+}
+
+// profileMinW returns the lowest planning-model power of a profile —
+// the per-device floor below which no budget is feasible.
+func profileMinW(profile string) float64 {
+	minW := -1.0
+	for _, p := range planningTable[profile] {
+		if minW < 0 || p.powerW < minW {
+			minW = p.powerW
+		}
+	}
+	return minW
+}

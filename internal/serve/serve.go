@@ -1,0 +1,460 @@
+// Package serve is the fleet-scale serving engine: it drives hundreds
+// to thousands of modeled devices under a shared power budget, the way
+// the ROADMAP's production system would serve heavy user traffic.
+//
+// The fleet is sharded across a worker pool. Each shard is an
+// independent discrete-event simulation (its own sim.Engine and derived
+// RNG streams) holding a contiguous slice of the fleet: devices
+// instantiated from internal/catalog profiles, optionally wrapped with
+// internal/fault injection, grouped into mirrored replica groups behind
+// adaptive.Redirectors. An open-loop request stream (internal/workload
+// arrivals) feeds per-group queues with admission control and request
+// batching, and the internal/adaptive control plane runs online: the
+// BudgetController re-plans every device's power state on each budget
+// step, per-device Governors enforce the planned draw in closed loop
+// (retrying through injected command faults), and Redirectors fail IO
+// over around dropped replicas.
+//
+// Determinism contract: the merged Report is bit-identical for the same
+// Spec regardless of GOMAXPROCS or worker scheduling. Shards derive
+// their seeds from the spec (never from shard execution order), results
+// land in fixed slots, and every merge folds in shard-index order.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wattio/internal/stats"
+	"wattio/internal/workload"
+)
+
+// BudgetStep is one entry of the fleet power-budget schedule: from At
+// onward the fleet-wide budget is FleetW watts.
+type BudgetStep struct {
+	At     time.Duration
+	FleetW float64
+}
+
+// Spec describes one serving run. Zero values take defaults.
+type Spec struct {
+	// Profiles is the catalog profile mix; replica groups round-robin
+	// over it. Default {"SSD2"}.
+	Profiles []string
+	// Size is the number of devices in the fleet. Default 64.
+	Size int
+	// Shards is the number of independent simulation shards. The shard
+	// count is part of the spec (not derived from the host) so results
+	// are machine-independent; 0 derives a deterministic default from
+	// Size. Worker parallelism adapts to the host separately.
+	Shards int
+	// Replicas is the mirror-group size (1 = no redirection); Size must
+	// be a multiple of it. Active is the number of replicas serving per
+	// group; default Replicas-1 (min 1), so one replica per group rests
+	// until failover needs it.
+	Replicas, Active int
+
+	// Read serves reads instead of the default writes; Seq issues
+	// sequential offsets instead of the default random. The planning
+	// models are calibrated against the default random-write stream;
+	// other shapes still run, with the per-device governors absorbing
+	// the larger plan-versus-device gap.
+	Read, Seq bool
+	// ChunkBytes and Depth shape the request stream per group,
+	// mirroring workload.Job: request size and IOs in flight per group.
+	// Defaults: 256 KiB, 64.
+	ChunkBytes int64
+	Depth      int
+	// Batch caps how many queued requests one dispatch pass submits
+	// back-to-back. Default 8.
+	Batch int
+	// QueueCap bounds each group's admission queue; arrivals beyond it
+	// are rejected (counted, not retried). Default 4×Depth.
+	QueueCap int
+	// RateIOPS is the open-loop arrival rate per active device; a
+	// group's rate is RateIOPS × Active. Default 3000.
+	RateIOPS float64
+	// Arrival selects the open-loop arrival process. Default OpenPoisson.
+	Arrival workload.Arrival
+
+	// Horizon is the virtual serving time. Default 2 s.
+	Horizon time.Duration
+	// ControlPeriod paces governors, power-interval accounting, and the
+	// budget-tracking check. Default 100 ms.
+	ControlPeriod time.Duration
+	// Budget is the fleet power-budget schedule, sorted by At with the
+	// first step at 0. Nil defaults to a single never-binding step at
+	// the fleet's maximum planning-model power.
+	Budget []BudgetStep
+	// CapTolFrac is the budget-tracking tolerance as a fraction of the
+	// interval budget. Default 0.10.
+	CapTolFrac float64
+
+	// Seed drives workload and device streams; FaultSeed independently
+	// drives fault selection and injection, so the same traffic can be
+	// replayed under different fault draws.
+	Seed, FaultSeed uint64
+	// FaultFrac is the fraction of devices given an injected fault
+	// window (dropout or power-command failure), drawn from FaultSeed.
+	FaultFrac float64
+
+	// CheckInvariants attaches per-shard sliding-window power-cap and
+	// clock-monotonicity probes; violations fail the run.
+	CheckInvariants bool
+}
+
+// normalized returns a copy with defaults filled in, or an error when
+// the spec is invalid.
+func (s Spec) normalized() (Spec, error) {
+	if len(s.Profiles) == 0 {
+		s.Profiles = []string{"SSD2"}
+	}
+	for _, p := range s.Profiles {
+		if _, ok := planningTable[p]; !ok {
+			return s, fmt.Errorf("serve: unknown profile %q", p)
+		}
+	}
+	if s.Size == 0 {
+		s.Size = 64
+	}
+	if s.Size < 1 {
+		return s, fmt.Errorf("serve: fleet size %d must be positive", s.Size)
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
+	}
+	if s.Replicas < 1 || s.Size%s.Replicas != 0 {
+		return s, fmt.Errorf("serve: fleet size %d not divisible into replica groups of %d", s.Size, s.Replicas)
+	}
+	if s.Active == 0 {
+		s.Active = s.Replicas - 1
+		if s.Active < 1 {
+			s.Active = 1
+		}
+	}
+	if s.Active < 1 || s.Active > s.Replicas {
+		return s, fmt.Errorf("serve: active count %d out of [1, %d]", s.Active, s.Replicas)
+	}
+	groups := s.Size / s.Replicas
+	if s.Shards == 0 {
+		s.Shards = (groups + 15) / 16
+		if s.Shards > 16 {
+			s.Shards = 16
+		}
+	}
+	if s.Shards < 1 {
+		return s, fmt.Errorf("serve: shard count %d must be positive", s.Shards)
+	}
+	if s.Shards > groups {
+		s.Shards = groups
+	}
+	if s.ChunkBytes == 0 {
+		s.ChunkBytes = 256 << 10
+	}
+	if s.ChunkBytes <= 0 || s.ChunkBytes%512 != 0 {
+		return s, fmt.Errorf("serve: chunk size %d invalid", s.ChunkBytes)
+	}
+	if s.Depth == 0 {
+		s.Depth = 64
+	}
+	if s.Depth < 1 {
+		return s, fmt.Errorf("serve: depth %d must be positive", s.Depth)
+	}
+	if s.Batch == 0 {
+		s.Batch = 8
+	}
+	if s.Batch < 1 {
+		return s, fmt.Errorf("serve: batch %d must be positive", s.Batch)
+	}
+	if s.Batch > s.Depth {
+		s.Batch = s.Depth
+	}
+	if s.QueueCap == 0 {
+		s.QueueCap = 4 * s.Depth
+	}
+	if s.QueueCap < 1 {
+		return s, fmt.Errorf("serve: queue cap %d must be positive", s.QueueCap)
+	}
+	if s.RateIOPS == 0 {
+		s.RateIOPS = 3000
+	}
+	if s.RateIOPS <= 0 {
+		return s, fmt.Errorf("serve: arrival rate %v must be positive", s.RateIOPS)
+	}
+	if s.Arrival == workload.Closed {
+		s.Arrival = workload.OpenPoisson
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 2 * time.Second
+	}
+	if s.Horizon <= 0 {
+		return s, fmt.Errorf("serve: horizon %v must be positive", s.Horizon)
+	}
+	if s.ControlPeriod == 0 {
+		s.ControlPeriod = 100 * time.Millisecond
+	}
+	if s.ControlPeriod <= 0 || s.ControlPeriod > s.Horizon {
+		return s, fmt.Errorf("serve: control period %v out of (0, horizon]", s.ControlPeriod)
+	}
+	if s.CapTolFrac == 0 {
+		s.CapTolFrac = 0.10
+	}
+	if s.CapTolFrac < 0 {
+		return s, fmt.Errorf("serve: negative cap tolerance")
+	}
+	if s.FaultFrac < 0 || s.FaultFrac > 1 {
+		return s, fmt.Errorf("serve: fault fraction %v out of [0, 1]", s.FaultFrac)
+	}
+	if len(s.Budget) == 0 {
+		var maxW float64
+		for gi := 0; gi < groups; gi++ {
+			maxW += float64(s.Replicas) * profileMaxW(s.Profiles[gi%len(s.Profiles)])
+		}
+		s.Budget = []BudgetStep{{At: 0, FleetW: maxW * 1.01}}
+	}
+	if s.Budget[0].At != 0 {
+		return s, fmt.Errorf("serve: budget schedule must start at 0, got %v", s.Budget[0].At)
+	}
+	for i, st := range s.Budget {
+		if st.FleetW <= 0 {
+			return s, fmt.Errorf("serve: budget step %d has non-positive power %v", i, st.FleetW)
+		}
+		if i > 0 && st.At <= s.Budget[i-1].At {
+			return s, fmt.Errorf("serve: budget schedule not strictly increasing at step %d", i)
+		}
+		if st.At >= s.Horizon {
+			return s, fmt.Errorf("serve: budget step %d at %v is past the horizon %v", i, st.At, s.Horizon)
+		}
+	}
+	return s, nil
+}
+
+// ParseSchedule parses a budget schedule flag: comma-separated
+// "duration:watts" steps, e.g. "0s:640,1s:448". A "pd" suffix on the
+// watts makes the value per-device, scaled by the fleet size:
+// "0s:14pd" means size × 14 W.
+func ParseSchedule(text string, size int) ([]BudgetStep, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, nil
+	}
+	var out []BudgetStep
+	for _, part := range strings.Split(text, ",") {
+		at, watts, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("serve: budget step %q is not duration:watts", part)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil {
+			return nil, fmt.Errorf("serve: budget step %q: %v", part, err)
+		}
+		perDev := false
+		if strings.HasSuffix(watts, "pd") {
+			perDev = true
+			watts = strings.TrimSuffix(watts, "pd")
+		}
+		w, err := strconv.ParseFloat(watts, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: budget step %q: bad watts %q", part, watts)
+		}
+		if perDev {
+			w *= float64(size)
+		}
+		out = append(out, BudgetStep{At: d, FleetW: w})
+	}
+	return out, nil
+}
+
+// Interval is one control-period slice of the merged power accounting.
+type Interval struct {
+	Start     time.Duration
+	Dur       time.Duration
+	BudgetW   float64
+	AchievedW float64
+	// Checked is false for intervals overlapping a budget-step
+	// transition (including the initial plan application at t=0),
+	// which get a one-period grace before tracking binds.
+	Checked bool
+}
+
+// Report is the merged outcome of a serving run. For a fixed Spec it is
+// bit-identical regardless of host parallelism.
+type Report struct {
+	Devices, Groups, Shards, Faulted int
+
+	Offered, Admitted, Rejected, Completed int64
+	Batches                                int64
+	BytesCompleted                         int64
+	ThroughputMBps                         float64
+	LatP50, LatP99, LatMax                 time.Duration
+
+	Intervals  []Interval
+	AvgPowerW  float64
+	WorstOverW float64
+	TrackOK    bool
+
+	GovSteps, GovRetries, GovFailures int
+	Replans, Compensations, Infeasible int
+	Failovers, WakesOnDemand           int
+
+	CapOK     bool
+	CapWorstW float64
+}
+
+// Run executes the serving engine and returns the merged report.
+func Run(spec Spec) (*Report, error) {
+	sp, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	groups := sp.Size / sp.Replicas
+
+	// Partition replica groups into contiguous shard ranges.
+	ranges := make([]shardRange, sp.Shards)
+	base, rem := groups/sp.Shards, groups%sp.Shards
+	g := 0
+	for i := range ranges {
+		n := base
+		if i < rem {
+			n++
+		}
+		ranges[i] = shardRange{g0: g, g1: g + n}
+		g += n
+	}
+
+	results := make([]*shardResult, sp.Shards)
+	errs := make([]error, sp.Shards)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > sp.Shards {
+		workers = sp.Shards
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = runShard(&sp, i, ranges[i])
+			}
+		}()
+	}
+	for i := 0; i < sp.Shards; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+	}
+	return merge(&sp, results), nil
+}
+
+// merge folds the per-shard results in shard-index order, so every sum
+// has a fixed association order and the report stays bit-identical.
+func merge(sp *Spec, results []*shardResult) *Report {
+	r := &Report{
+		Devices: sp.Size,
+		Groups:  sp.Size / sp.Replicas,
+		Shards:  sp.Shards,
+		TrackOK: true,
+		CapOK:   true,
+	}
+	var lat []time.Duration
+	nIntervals := len(results[0].IntervalEnergyJ)
+	energy := make([]float64, nIntervals)
+	for _, s := range results {
+		r.Faulted += s.Faulted
+		r.Offered += s.Offered
+		r.Admitted += s.Admitted
+		r.Rejected += s.Rejected
+		r.Completed += s.Completed
+		r.Batches += s.Batches
+		r.BytesCompleted += s.BytesCompleted
+		r.GovSteps += s.GovSteps
+		r.GovRetries += s.GovRetries
+		r.GovFailures += s.GovFailures
+		r.Replans += s.Replans
+		r.Compensations += s.Compensations
+		r.Infeasible += s.Infeasible
+		r.Failovers += s.Failovers
+		r.WakesOnDemand += s.WakesOnDemand
+		if !s.CapOK {
+			r.CapOK = false
+		}
+		if s.CapWorstW > r.CapWorstW {
+			r.CapWorstW = s.CapWorstW
+		}
+		for k, e := range s.IntervalEnergyJ {
+			energy[k] += e
+		}
+		lat = append(lat, s.Latencies...)
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if n := len(lat); n > 0 {
+		fl := make([]float64, n)
+		for i, l := range lat {
+			fl[i] = float64(l)
+		}
+		r.LatP50 = time.Duration(stats.Quantile(fl, 0.50))
+		r.LatP99 = time.Duration(stats.Quantile(fl, 0.99))
+		r.LatMax = lat[n-1]
+	}
+	r.ThroughputMBps = float64(r.BytesCompleted) / 1e6 / sp.Horizon.Seconds()
+
+	var totalE float64
+	for k := 0; k < nIntervals; k++ {
+		start := time.Duration(k) * sp.ControlPeriod
+		end := start + sp.ControlPeriod
+		if end > sp.Horizon {
+			end = sp.Horizon
+		}
+		iv := Interval{
+			Start:     start,
+			Dur:       end - start,
+			BudgetW:   budgetAt(sp.Budget, start),
+			AchievedW: energy[k] / (end - start).Seconds(),
+			Checked:   true,
+		}
+		// Grace: a step changing the budget inside or right before this
+		// interval means part of it ran under the previous plan. The
+		// initial step at t=0 gets the same grace — devices enter the
+		// horizon in their power-on state with full burst allowances.
+		for _, st := range sp.Budget {
+			if st.At < end && st.At+sp.ControlPeriod > start {
+				iv.Checked = false
+			}
+		}
+		totalE += energy[k]
+		if iv.Checked {
+			over := iv.AchievedW - iv.BudgetW
+			if over > r.WorstOverW {
+				r.WorstOverW = over
+			}
+			if iv.AchievedW > iv.BudgetW*(1+sp.CapTolFrac) {
+				r.TrackOK = false
+			}
+		}
+		r.Intervals = append(r.Intervals, iv)
+	}
+	r.AvgPowerW = totalE / sp.Horizon.Seconds()
+	return r
+}
+
+// budgetAt returns the scheduled fleet budget in force at time t.
+func budgetAt(sched []BudgetStep, t time.Duration) float64 {
+	w := sched[0].FleetW
+	for _, st := range sched {
+		if st.At <= t {
+			w = st.FleetW
+		}
+	}
+	return w
+}

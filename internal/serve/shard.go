@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"wattio/internal/adaptive"
+	"wattio/internal/catalog"
+	"wattio/internal/core"
+	"wattio/internal/device"
+	"wattio/internal/fault"
+	"wattio/internal/sim"
+	"wattio/internal/telemetry/invariant"
+	"wattio/internal/workload"
+)
+
+// govGuard is the slack factor between a device's planned draw and its
+// governor budget: wide enough that the feedback loop does not fight
+// the model-based plan under normal draw, tight enough to catch a
+// device running meaningfully hotter than its model says.
+const govGuard = 1.10
+
+// shardRange is one shard's contiguous slice of replica groups.
+type shardRange struct{ g0, g1 int }
+
+// shardResult is everything a shard contributes to the merged report.
+type shardResult struct {
+	Faulted int
+
+	Offered, Admitted, Rejected, Completed int64
+	Batches, BytesCompleted                int64
+	Latencies                              []time.Duration
+
+	IntervalEnergyJ []float64
+
+	GovSteps, GovRetries, GovFailures  int
+	Replans, Compensations, Infeasible int
+	Failovers, WakesOnDemand           int
+
+	CapOK     bool
+	CapWorstW float64
+}
+
+// shard is one independent simulation: a slice of the fleet with its
+// own engine, control plane, and request scheduler.
+type shard struct {
+	spec *Spec
+	eng  *sim.Engine
+	res  shardResult
+
+	devs  []device.Device // build order; wrapped with fault where drawn
+	names []string
+	maxW  []float64 // per-device planning-model max (governor fallback)
+	govs  []*adaptive.Governor
+	bc    *adaptive.BudgetController
+	plan  core.Assignment
+
+	redirs []*adaptive.Redirector
+	lanes  []*lane
+
+	inflight int
+	stopped  bool
+	prevE    float64
+}
+
+// EnergyJ is the shard's aggregate device energy; the sliding-window
+// cap probe clamps onto it.
+func (s *shard) EnergyJ() float64 {
+	var sum float64
+	for _, d := range s.devs {
+		sum += d.EnergyJ()
+	}
+	return sum
+}
+
+// lane is one replica group's request scheduler: an admission-bounded
+// FIFO queue in front of a device (or a Redirector over its replicas),
+// dispatched in batches up to the group's depth limit.
+type lane struct {
+	sh   *shard
+	dev  device.Device
+	rng  *sim.RNG
+	span int64
+
+	queue    []time.Duration // admission timestamps
+	head     int
+	inflight int
+	seqOff   int64
+}
+
+func (l *lane) qlen() int { return len(l.queue) - l.head }
+
+// arrive handles one open-loop arrival: admit into the queue or reject
+// when the queue is at capacity.
+func (l *lane) arrive() {
+	s := l.sh
+	s.res.Offered++
+	if l.qlen() >= s.spec.QueueCap {
+		s.res.Rejected++
+		return
+	}
+	s.res.Admitted++
+	l.queue = append(l.queue, s.eng.Now())
+	l.dispatch()
+}
+
+func (l *lane) pop() time.Duration {
+	at := l.queue[l.head]
+	l.head++
+	if l.head > 1024 && l.head*2 >= len(l.queue) {
+		l.queue = append(l.queue[:0], l.queue[l.head:]...)
+		l.head = 0
+	}
+	return at
+}
+
+// dispatch submits queued requests in batches. A group fires when a
+// full batch of depth slots is free or when the whole remaining queue
+// fits — so a loaded lane coalesces submissions into Batch-sized
+// bursts (amortizing per-doorbell work, as a real frontend would)
+// while a lightly loaded lane dispatches immediately with no added
+// latency.
+func (l *lane) dispatch() {
+	s := l.sh
+	if s.stopped {
+		return
+	}
+	for {
+		free, q := s.spec.Depth-l.inflight, l.qlen()
+		if q == 0 || free == 0 || (free < s.spec.Batch && q > free) {
+			return
+		}
+		n := s.spec.Batch
+		if free < n {
+			n = free
+		}
+		if q < n {
+			n = q
+		}
+		s.res.Batches++
+		for i := 0; i < n; i++ {
+			l.submit(l.pop())
+		}
+	}
+}
+
+func (l *lane) submit(admitted time.Duration) {
+	s := l.sh
+	l.inflight++
+	s.inflight++
+	op := device.OpWrite
+	if s.spec.Read {
+		op = device.OpRead
+	}
+	req := device.Request{Op: op, Offset: l.nextOffset(), Size: s.spec.ChunkBytes}
+	l.dev.Submit(req, func() {
+		now := s.eng.Now()
+		l.inflight--
+		s.inflight--
+		s.res.Completed++
+		s.res.BytesCompleted += s.spec.ChunkBytes
+		// Latency is measured from admission, so queue wait under a
+		// curtailed budget is part of the serving tail, as it would be
+		// for a real frontend.
+		s.res.Latencies = append(s.res.Latencies, now-admitted)
+		l.dispatch()
+	})
+}
+
+func (l *lane) nextOffset() int64 {
+	bs := l.sh.spec.ChunkBytes
+	if !l.sh.spec.Seq {
+		return l.rng.Int64N(l.span/bs) * bs
+	}
+	off := l.seqOff
+	l.seqOff += bs
+	if l.seqOff+bs > l.span {
+		l.seqOff = 0
+	}
+	return off
+}
+
+// applyBudget runs one model-based re-plan: the shard's slice of the
+// fleet budget (proportional to its device count) goes through the
+// BudgetController, and each device's governor is retargeted to the
+// planned draw so the feedback loop enforces the new plan between
+// steps.
+func (s *shard) applyBudget(fleetW float64) {
+	slice := fleetW * float64(len(s.devs)) / float64(s.spec.Size)
+	a, err := s.bc.Apply(slice)
+	if err != nil {
+		// Infeasible slice (or every pass stuck): keep the previous
+		// states rather than thrash; the report surfaces the count.
+		s.res.Infeasible++
+		return
+	}
+	s.res.Replans++
+	s.plan = a
+	for i, gv := range s.govs {
+		if gv != nil {
+			gv.SetBudget(s.planBudget(i))
+		}
+	}
+}
+
+// planBudget is device i's governor budget under the current plan.
+func (s *shard) planBudget(i int) float64 {
+	if sample, ok := s.plan.Configs[s.names[i]]; ok && sample.PowerW > 0 {
+		return sample.PowerW * govGuard
+	}
+	return s.maxW[i] * govGuard
+}
+
+// runShard builds and runs one shard to completion.
+func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(sp.Seed ^ shardHash("serve/shard", idx))
+	frng := sim.NewRNG(sp.FaultSeed ^ shardHash("serve/fault", idx))
+	s := &shard{spec: sp, eng: eng}
+	s.res.CapOK = true
+
+	// Build devices, planning models, replica groups, and lanes.
+	var models []*core.Model
+	for g := rg.g0; g < rg.g1; g++ {
+		profile := sp.Profiles[g%len(sp.Profiles)]
+		groupDevs := make([]device.Device, 0, sp.Replicas)
+		for rep := 0; rep < sp.Replicas; rep++ {
+			gi := g*sp.Replicas + rep
+			name := fmt.Sprintf("%s#%05d", profile, gi)
+			d, ok := catalog.NewNamed(profile, name, eng, rng.Stream(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown profile %q", profile)
+			}
+			// Fault selection and shape are drawn from the fault seed's
+			// per-device stream, independent of the workload draws.
+			ds := frng.Stream(name)
+			if sp.FaultFrac > 0 && ds.Float64() < sp.FaultFrac {
+				kind := fault.Dropout
+				if ds.Float64() < 0.5 {
+					kind = fault.PowerCmdFail
+				}
+				start := time.Duration(float64(sp.Horizon) * (0.2 + 0.4*ds.Float64()))
+				dur := time.Duration(float64(sp.Horizon) * (0.1 + 0.15*ds.Float64()))
+				fd, err := fault.New(d, eng, ds.Stream("inject"), fault.Profile{
+					Windows: []fault.Window{{Kind: kind, Start: start, Dur: dur}},
+				})
+				if err != nil {
+					return nil, err
+				}
+				d = fd
+				s.res.Faulted++
+			}
+			m, err := planningModel(profile, name)
+			if err != nil {
+				return nil, err
+			}
+			models = append(models, m)
+			s.devs = append(s.devs, d)
+			s.names = append(s.names, name)
+			s.maxW = append(s.maxW, profileMaxW(profile))
+			groupDevs = append(groupDevs, d)
+		}
+
+		target := groupDevs[0]
+		if sp.Replicas > 1 {
+			rd, err := adaptive.NewRedirector(fmt.Sprintf("group%05d", g), groupDevs, sp.Active)
+			if err != nil {
+				return nil, err
+			}
+			s.redirs = append(s.redirs, rd)
+			target = rd
+		}
+		span := target.CapacityBytes()
+		span -= span % sp.ChunkBytes
+		s.lanes = append(s.lanes, &lane{
+			sh:   s,
+			dev:  target,
+			rng:  rng.Stream(fmt.Sprintf("lane%05d", g)),
+			span: span,
+		})
+	}
+
+	fleet, err := core.NewFleet(models...)
+	if err != nil {
+		return nil, err
+	}
+	if s.bc, err = adaptive.NewBudgetController(fleet, s.devs); err != nil {
+		return nil, err
+	}
+
+	// Initial plan, then one governor per device with selectable power
+	// states, targeted at its planned draw.
+	s.applyBudget(sp.Budget[0].FleetW)
+	for i, d := range s.devs {
+		if len(d.PowerStates()) < 2 {
+			s.govs = append(s.govs, nil)
+			continue
+		}
+		gv, err := adaptive.NewGovernor(eng, d, s.planBudget(i), sp.ControlPeriod)
+		if err != nil {
+			return nil, err
+		}
+		gv.Start()
+		s.govs = append(s.govs, gv)
+	}
+
+	for _, st := range sp.Budget[1:] {
+		st := st
+		eng.Schedule(st.At, func() { s.applyBudget(st.FleetW) })
+	}
+
+	// Power accounting per control interval.
+	nIv := int((sp.Horizon + sp.ControlPeriod - 1) / sp.ControlPeriod)
+	s.res.IntervalEnergyJ = make([]float64, nIv)
+	s.prevE = s.EnergyJ()
+	for k := 1; k <= nIv; k++ {
+		k := k
+		t := time.Duration(k) * sp.ControlPeriod
+		if t > sp.Horizon {
+			t = sp.Horizon
+		}
+		eng.Schedule(t, func() {
+			e := s.EnergyJ()
+			s.res.IntervalEnergyJ[k-1] = e - s.prevE
+			s.prevE = e
+		})
+	}
+
+	var capProbe *invariant.CapProbe
+	var clockProbe *invariant.ClockProbe
+	if sp.CheckInvariants {
+		var maxSlice float64
+		for _, st := range sp.Budget {
+			if slice := st.FleetW * float64(len(s.devs)) / float64(sp.Size); slice > maxSlice {
+				maxSlice = slice
+			}
+		}
+		capProbe = invariant.AttachCap(eng, s, maxSlice*(1+sp.CapTolFrac), sp.ControlPeriod, sp.ControlPeriod/20)
+		clockProbe = invariant.AttachClock(eng, sp.ControlPeriod/2)
+	}
+
+	// Open-loop arrival stream per lane.
+	for i, l := range s.lanes {
+		l := l
+		_, err := workload.StartArrivals(eng,
+			rng.Stream(fmt.Sprintf("arrivals%05d", rg.g0+i)),
+			sp.Arrival, sp.RateIOPS*float64(sp.Active), sp.Horizon, l.arrive, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	eng.RunUntil(sp.Horizon)
+
+	// Past the horizon: stop admitting and controlling, drain in-flight
+	// IO so every admitted-and-submitted request's latency is counted.
+	s.stopped = true
+	for _, gv := range s.govs {
+		if gv != nil {
+			gv.Stop()
+		}
+	}
+	if capProbe != nil {
+		capProbe.Stop()
+		s.res.CapWorstW = capProbe.WorstWindowW()
+		s.res.CapOK = capProbe.Check(0.02) == nil
+	}
+	if clockProbe != nil {
+		clockProbe.Stop()
+		if err := clockProbe.Check(); err != nil {
+			return nil, err
+		}
+	}
+	for s.inflight > 0 && eng.Step() {
+	}
+	if s.inflight > 0 {
+		return nil, fmt.Errorf("engine drained with %d IOs in flight", s.inflight)
+	}
+
+	for _, gv := range s.govs {
+		if gv == nil {
+			continue
+		}
+		s.res.GovSteps += gv.Steps
+		s.res.GovRetries += gv.Retries
+		s.res.GovFailures += gv.Failures
+	}
+	s.res.Compensations = s.bc.Compensations
+	for _, rd := range s.redirs {
+		s.res.Failovers += rd.Failovers
+		s.res.WakesOnDemand += rd.WakesOnDemand
+	}
+	sort.Slice(s.res.Latencies, func(i, j int) bool { return s.res.Latencies[i] < s.res.Latencies[j] })
+	return &s.res, nil
+}
+
+// shardHash derives a per-shard seed offset, so shards get independent
+// but reproducible random streams no matter which worker runs them.
+func shardHash(label string, idx int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", label, idx)
+	return h.Sum64()
+}

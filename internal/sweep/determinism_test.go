@@ -2,21 +2,23 @@ package sweep
 
 import (
 	"reflect"
-	"runtime"
 	"testing"
 	"time"
 
+	"wattio/internal/detcheck"
 	"wattio/internal/device"
 	"wattio/internal/workload"
 )
 
 // TestRunDeterministicAcrossScheduling is the determinism regression
 // test: the same grid must produce bit-identical points — every field,
-// including full latency arrays — run twice at full parallelism and
-// once pinned to a single CPU. Cells are independent engines with
-// derived seeds, so host scheduling must never leak into results.
+// including full latency arrays — across repeat runs and across
+// GOMAXPROCS 1, 4, and 8. Cells are independent engines with derived
+// seeds, so host scheduling must never leak into results. The serving
+// engine's serve.TestDeterministic asserts its half of the same
+// contract through the same detcheck helper.
 func TestRunDeterministicAcrossScheduling(t *testing.T) {
-	// Deliberately not Parallel: it pins GOMAXPROCS for one run.
+	// Deliberately not Parallel: detcheck pins GOMAXPROCS per run.
 	spec := Spec{
 		Device:      "SSD2",
 		PowerStates: []int{0, 2},
@@ -29,35 +31,15 @@ func TestRunDeterministicAcrossScheduling(t *testing.T) {
 		Seed:        23,
 	}
 
-	a, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	prev := runtime.GOMAXPROCS(1)
-	c, runErr := Run(spec)
-	runtime.GOMAXPROCS(prev)
-	if runErr != nil {
-		t.Fatal(runErr)
-	}
-
-	if !reflect.DeepEqual(a, b) {
-		t.Error("identical runs differ")
-		diffPoints(t, a, b)
-	}
-	if !reflect.DeepEqual(a, c) {
-		t.Error("GOMAXPROCS=1 run differs from parallel run")
-		diffPoints(t, a, c)
-	}
+	detcheck.Assert(t, func() ([]Point, error) { return Run(spec) }, detcheck.Config[[]Point]{
+		Procs: []int{1, 4, 8},
+		Diff:  diffPoints,
+	})
 }
 
 // diffPoints narrows a DeepEqual failure down to the first divergent
 // point and field so regressions are debuggable.
-func diffPoints(t *testing.T, a, b []Point) {
+func diffPoints(t testing.TB, a, b []Point) {
 	t.Helper()
 	if len(a) != len(b) {
 		t.Errorf("point counts: %d vs %d", len(a), len(b))

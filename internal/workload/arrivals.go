@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"wattio/internal/sim"
+)
+
+// Arrivals is a standalone open-loop arrival process: it fires a
+// callback per request arrival at the configured rate until its horizon
+// passes or it is stopped. Runner embeds the same arrival logic for
+// single-device jobs; Arrivals exists for layers that put their own
+// queueing between arrival and device — the serving engine's admission
+// control and batching cannot use Runner's direct-submit path.
+type Arrivals struct {
+	eng  *sim.Engine
+	rng  *sim.RNG
+	kind Arrival
+	gap  float64 // mean inter-arrival time in seconds
+
+	deadline time.Duration
+	count    int64
+	stopped  bool
+	timer    *sim.Timer
+	fn       func()
+	onDone   func()
+}
+
+// StartArrivals begins an open-loop arrival process on the engine. fn
+// runs once per arrival; arrivals stop after horizon elapses (measured
+// from now) or when Stop is called. kind must be OpenPoisson or
+// OpenUniform; rateIOPS must be positive. onDone, if non-nil, runs as
+// an engine event when the process retires (horizon reached), letting
+// callers sequence drain logic without polling.
+func StartArrivals(eng *sim.Engine, rng *sim.RNG, kind Arrival, rateIOPS float64, horizon time.Duration, fn func(), onDone func()) (*Arrivals, error) {
+	if kind == Closed {
+		return nil, fmt.Errorf("workload: arrivals need an open-loop kind")
+	}
+	if rateIOPS <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %v must be positive", rateIOPS)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("workload: arrival horizon %v must be positive", horizon)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("workload: arrivals need a callback")
+	}
+	a := &Arrivals{
+		eng:      eng,
+		rng:      rng,
+		kind:     kind,
+		gap:      1 / rateIOPS,
+		deadline: eng.Now() + horizon,
+		fn:       fn,
+		onDone:   onDone,
+	}
+	// The first arrival comes one inter-arrival gap in, not at t=0: an
+	// open-loop source has no reason to fire the instant it is created,
+	// and a synchronized burst across many lanes would be an artifact.
+	a.schedule()
+	return a, nil
+}
+
+func (a *Arrivals) schedule() {
+	gap := a.gap
+	if a.kind == OpenPoisson {
+		gap = a.rng.Exponential(gap)
+	}
+	d := time.Duration(gap * float64(time.Second))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	if a.eng.Now()+d > a.deadline {
+		a.retire()
+		return
+	}
+	a.timer = a.eng.After(d, func() {
+		if a.stopped {
+			return
+		}
+		a.count++
+		a.fn()
+		a.schedule()
+	})
+}
+
+func (a *Arrivals) retire() {
+	if a.stopped {
+		return
+	}
+	a.stopped = true
+	if a.onDone != nil {
+		done := a.onDone
+		a.eng.After(0, done)
+	}
+}
+
+// Stop halts the process early. Idempotent; onDone still fires once.
+func (a *Arrivals) Stop() {
+	if a.stopped {
+		return
+	}
+	if a.timer != nil {
+		a.timer.Stop()
+	}
+	a.retire()
+}
+
+// Count returns how many arrivals have fired.
+func (a *Arrivals) Count() int64 { return a.count }
+
+// Done reports whether the process has retired.
+func (a *Arrivals) Done() bool { return a.stopped }

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Run the fleet serving benchmark and emit its custom metrics as JSON.
+#
+#   scripts/bench_fleet.sh [out.json]
+#
+# Runs BenchmarkFleetServe (one iteration is a full fleet simulation, so
+# -benchtime 1x keeps CI cost bounded) and converts the `go test -bench`
+# metric pairs — ns/op plus every b.ReportMetric unit — into a flat JSON
+# object written to BENCH_fleet.json (or the given path). The raw
+# benchmark log is kept next to it for debugging.
+set -eu
+
+out=${1:-BENCH_fleet.json}
+log=${out%.json}.log
+
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench '^BenchmarkFleetServe$' -benchtime 1x -count 1 . | tee "$log"
+
+awk -v out="$out" '
+/^BenchmarkFleetServe/ {
+    printf "{\n  \"benchmark\": \"%s\",\n  \"iterations\": %s", $1, $2 > out
+    # Fields from 3 on are value/unit pairs, e.g. `123456 ns/op 98.7 fleet_MBps`.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        printf ",\n  \"%s\": %s", unit, $i > out
+    }
+    printf "\n}\n" > out
+    found = 1
+}
+END {
+    if (!found) {
+        print "bench_fleet.sh: no BenchmarkFleetServe result in output" > "/dev/stderr"
+        exit 1
+    }
+}
+' "$log"
+
+echo "wrote $out:"
+cat "$out"
