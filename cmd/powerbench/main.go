@@ -11,13 +11,22 @@
 //	powerbench -exp fig2 -trace trace.json -metrics
 //	powerbench -exp chaos -faultseed 7 -metrics
 //	powerbench -exp fleet -fleet 1000 -budget "0s:14.6pd,1s:10.5pd" -fleetfaults 0.1
+//	powerbench -exp fleet -cpuprofile cpu.prof -memprofile mem.prof -benchout timings.json
+//
+// Profiling (-cpuprofile, -memprofile) and wall-clock timing (-benchout)
+// outputs are host-dependent by nature and are written to their own
+// files after the run; a -out results file remains bit-identical across
+// runs regardless of which of them are enabled.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wattio/internal/experiments"
@@ -35,6 +44,10 @@ func main() {
 		fseed   = flag.Uint64("faultseed", 1, "fault-injection random seed (chaos experiment)")
 		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) of the run to this file")
 		metrics = flag.Bool("metrics", false, "print a telemetry metrics snapshot after the run")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+		benchOut   = flag.String("benchout", "", "write per-experiment wall-clock timings as JSON to this file")
 
 		fleetSize   = flag.Int("fleet", 0, "fleet experiment: device count (0 = default)")
 		fleetRepl   = flag.Int("replicas", 0, "fleet experiment: replicas per mirror group (0 = default)")
@@ -105,6 +118,68 @@ func main() {
 		telemetry.SetDefaultTracer(tracer)
 	}
 
+	// Profiling and timing outputs are kept strictly apart from -out:
+	// the -out file must stay bit-identical across runs (determinism CI
+	// cmps it), while profiles and wall-clock timings are inherently
+	// host-dependent. The CPU profile covers the experiment loop and is
+	// finalized after it; the heap profile is snapshotted after the run.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powerbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "powerbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "powerbench: writing cpu profile: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stdout, "wrote %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err == nil {
+				runtime.GC() // settle allocations so the heap profile reflects live data
+				err = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "powerbench: writing heap profile: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stdout, "wrote %s\n", path)
+		}()
+	}
+	type benchEntry struct {
+		ID     string  `json:"id"`
+		WallMS float64 `json:"wall_ms"`
+	}
+	var benchLog []benchEntry
+	if *benchOut != "" {
+		path := *benchOut
+		defer func() {
+			data, err := json.MarshalIndent(benchLog, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "powerbench: writing bench timings: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stdout, "wrote %s\n", path)
+		}()
+	}
+
 	var todo []experiments.Experiment
 	if *expID == "all" {
 		todo = experiments.All()
@@ -140,7 +215,11 @@ func main() {
 		// Wall-clock timing is the one nondeterministic line; it goes to
 		// the terminal only so a -out file stays bit-identical across
 		// runs (the determinism CI jobs cmp those files directly).
-		fmt.Fprintf(os.Stdout, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *benchOut != "" {
+			benchLog = append(benchLog, benchEntry{ID: e.ID, WallMS: float64(elapsed.Microseconds()) / 1000})
+		}
+		fmt.Fprintf(os.Stdout, "[%s done in %v]\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 
 	if tracer != nil {

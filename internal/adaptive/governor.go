@@ -39,6 +39,7 @@ type Governor struct {
 	tick    *sim.Timer
 
 	retry        *sim.Timer
+	retryTarget  int
 	retryBackoff time.Duration
 
 	lastE float64
@@ -101,7 +102,13 @@ func (g *Governor) Start() {
 	g.running = true
 	g.lastE = g.dev.EnergyJ()
 	g.lastT = g.eng.Now()
-	g.schedule()
+	// One periodic timer serves the whole loop; the engine re-sifts it
+	// in place after each control step instead of alloc+push per period.
+	if g.tick == nil {
+		g.tick = g.eng.Periodic(g.period, g.onTick)
+	} else {
+		g.tick.RescheduleAfter(g.period)
+	}
 }
 
 // Stop halts the control loop, leaving the device in its current state.
@@ -109,19 +116,15 @@ func (g *Governor) Stop() {
 	g.running = false
 	if g.tick != nil {
 		g.tick.Stop()
-		g.tick = nil
 	}
 	g.stopRetry()
 }
 
-func (g *Governor) schedule() {
-	g.tick = g.eng.After(g.period, func() {
-		if !g.running {
-			return
-		}
-		g.control()
-		g.schedule()
-	})
+func (g *Governor) onTick() {
+	if !g.running {
+		return
+	}
+	g.control()
 }
 
 // control runs one feedback step on the trailing period's average power.
@@ -182,30 +185,36 @@ func (g *Governor) scheduleRetry(target int) {
 	if d <= 0 {
 		d = time.Millisecond
 	}
-	g.retry = g.eng.After(d, func() {
-		if !g.running {
-			return
+	g.retryTarget = target
+	if g.retry == nil {
+		g.retry = g.eng.After(d, g.onRetry)
+	} else {
+		g.retry.RescheduleAfter(d)
+	}
+}
+
+func (g *Governor) onRetry() {
+	if !g.running {
+		return
+	}
+	g.Retries++
+	g.cRetries.Inc()
+	if err := g.dev.SetPowerState(g.retryTarget); err != nil {
+		g.Failures++
+		g.cFailures.Inc()
+		g.retryBackoff *= 2
+		if g.retryBackoff > g.RetryMax {
+			g.retryBackoff = g.RetryMax
 		}
-		g.Retries++
-		g.cRetries.Inc()
-		if err := g.dev.SetPowerState(target); err != nil {
-			g.Failures++
-			g.cFailures.Inc()
-			g.retryBackoff *= 2
-			if g.retryBackoff > g.RetryMax {
-				g.retryBackoff = g.RetryMax
-			}
-			g.scheduleRetry(target)
-			return
-		}
-		g.Steps++
-		g.retryBackoff = 0
-	})
+		g.scheduleRetry(g.retryTarget)
+		return
+	}
+	g.Steps++
+	g.retryBackoff = 0
 }
 
 func (g *Governor) stopRetry() {
 	if g.retry != nil {
 		g.retry.Stop()
-		g.retry = nil
 	}
 }

@@ -141,13 +141,18 @@ func chaosGovernor(s Scale, r *ChaosReport) error {
 	// Watch for the first applied transition so recovery latency is
 	// measured, not inferred.
 	var recoveredAt time.Duration
+	var watchT *sim.Timer
 	var watch func()
 	watch = func() {
 		if fd.PowerStateIndex() != 0 {
 			recoveredAt = eng.Now()
 			return
 		}
-		eng.After(5*time.Millisecond, watch)
+		if watchT == nil {
+			watchT = eng.After(5*time.Millisecond, watch)
+		} else {
+			watchT.RescheduleAfter(5 * time.Millisecond)
+		}
 	}
 	watch()
 
@@ -156,7 +161,7 @@ func chaosGovernor(s Scale, r *ChaosReport) error {
 	// is the fault — so "no violation outside the scripted windows" is
 	// what the probe must certify.
 	var capProbe *invariant.CapProbe
-	eng.Schedule(3*dur/4, func() {
+	eng.Post(3*dur/4, func() {
 		capProbe = invariant.AttachCap(eng, fd, 11, dur/8, 5*time.Millisecond)
 	})
 
@@ -227,8 +232,8 @@ func chaosRedirector(s Scale, r *ChaosReport) error {
 	eng.RunUntil(eng.Now() + settle) // settle standby transitions
 
 	var atDrop, atRecover []int
-	eng.Schedule(eng.Now()+r.RedirDropStart, func() { atDrop = mirror.CompletedByReplica() })
-	eng.Schedule(eng.Now()+r.RedirDropEnd, func() { atRecover = mirror.CompletedByReplica() })
+	eng.Post(eng.Now()+r.RedirDropStart, func() { atDrop = mirror.CompletedByReplica() })
+	eng.Post(eng.Now()+r.RedirDropEnd, func() { atRecover = mirror.CompletedByReplica() })
 
 	workload.Run(eng, mirror, workload.Job{
 		Op: device.OpRead, Pattern: workload.Rand, BS: 4 << 10,

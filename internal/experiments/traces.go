@@ -79,7 +79,7 @@ func Figure7(s Scale) (Fig7, error) {
 			return Fig7{}, err
 		}
 		rig.Start()
-		eng.Schedule(200*time.Millisecond, func() {
+		eng.Post(200*time.Millisecond, func() {
 			if err := port.SetLinkPM(sata.LinkSlumber); err != nil {
 				panic(err)
 			}
@@ -109,7 +109,7 @@ func Figure7(s Scale) (Fig7, error) {
 		}
 		base := eng.Now()
 		rig.Start()
-		eng.Schedule(base+400*time.Millisecond, func() {
+		eng.Post(base+400*time.Millisecond, func() {
 			if err := port.SetLinkPM(sata.LinkActive); err != nil {
 				panic(err)
 			}

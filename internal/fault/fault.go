@@ -277,7 +277,7 @@ func (d *Device) Submit(r device.Request, done func()) {
 		d.held++
 		// Release at window end; re-check then in case another dropout
 		// window has started meanwhile.
-		d.eng.Schedule(w.End(), func() {
+		d.eng.Post(w.End(), func() {
 			d.held--
 			d.Submit(r, done)
 		})
@@ -329,7 +329,7 @@ func (d *Device) Submit(r device.Request, done func()) {
 			done()
 			return
 		}
-		d.eng.After(extra, done)
+		d.eng.PostAfter(extra, done)
 	})
 }
 

@@ -33,7 +33,7 @@ func (d *HDD) Submit(r device.Request, done func()) {
 // begin runs command overhead, then routes to the read or write path.
 func (d *HDD) begin(r device.Request, done func()) {
 	_, end := occupy(&d.cmdFreeAt, d.eng.Now(), d.cfg.CmdTime)
-	d.eng.Schedule(end, func() {
+	d.eng.Post(end, func() {
 		if r.Op == device.OpRead {
 			d.queue = append(d.queue, access{r.Offset, r.Size, true, done})
 			d.taps.queueDepth.Set(int64(len(d.queue)))
@@ -51,8 +51,8 @@ func (d *HDD) begin(r device.Request, done func()) {
 func (d *HDD) write(r device.Request, done func()) {
 	admit := func() {
 		start, end := occupy(&d.linkFreeAt, d.eng.Now(), d.linkTime(r.Size))
-		d.eng.Schedule(start, func() { d.meter.Set(d.cIface, d.cfg.PIfaceAct, d.eng.Now()) })
-		d.eng.Schedule(end, func() {
+		d.eng.Post(start, func() { d.meter.Set(d.cIface, d.cfg.PIfaceAct, d.eng.Now()) })
+		d.eng.Post(end, func() {
 			d.meter.Set(d.cIface, 0, d.eng.Now())
 			done()
 			d.queue = append(d.queue, access{r.Offset, r.Size, false, nil})
@@ -125,7 +125,7 @@ func (d *HDD) service(a access) {
 		d.taps.seekNs.Observe(int64(seek))
 		d.tr.Span(d.laneHead, "hdd", "seek", now, now+seek)
 		d.meter.Set(d.cSeek, d.cfg.PSeek, now)
-		d.eng.After(seek, func() { d.meter.Set(d.cSeek, 0, d.eng.Now()) })
+		d.eng.PostAfter(seek, func() { d.meter.Set(d.cSeek, 0, d.eng.Now()) })
 	}
 	xferStart := now + seek + rot
 	if d.tr.Enabled() {
@@ -135,16 +135,16 @@ func (d *HDD) service(a access) {
 		}
 		d.tr.Span(d.laneHead, "hdd", name, xferStart, xferStart+xfer)
 	}
-	d.eng.Schedule(xferStart, func() { d.meter.Set(d.cXfer, d.cfg.PXfer, d.eng.Now()) })
-	d.eng.Schedule(xferStart+xfer, func() {
+	d.eng.Post(xferStart, func() { d.meter.Set(d.cXfer, d.cfg.PXfer, d.eng.Now()) })
+	d.eng.Post(xferStart+xfer, func() {
 		t := d.eng.Now()
 		d.meter.Set(d.cXfer, 0, t)
 		d.headPos = a.offset + a.size
 		d.lastEnd = d.headPos
 		if a.read {
 			start, end := occupy(&d.linkFreeAt, t, d.linkTime(a.size))
-			d.eng.Schedule(start, func() { d.meter.Set(d.cIface, d.cfg.PIfaceAct, d.eng.Now()) })
-			d.eng.Schedule(end, func() {
+			d.eng.Post(start, func() { d.meter.Set(d.cIface, d.cfg.PIfaceAct, d.eng.Now()) })
+			d.eng.Post(end, func() {
 				d.meter.Set(d.cIface, 0, d.eng.Now())
 				a.done()
 			})
@@ -221,7 +221,7 @@ func (d *HDD) maybeFinishFlush() {
 	d.taps.spinDowns.Inc()
 	d.tr.Instant(d.lane, "hdd", "spin_down", now)
 	d.meter.Set(d.cSpindle, d.cfg.PSpinDown-d.cfg.PElec, now)
-	d.eng.After(d.cfg.TSpinDown, func() {
+	d.eng.PostAfter(d.cfg.TSpinDown, func() {
 		if d.spin != spinningDown {
 			return
 		}
@@ -248,7 +248,7 @@ func (d *HDD) Wake() error {
 	d.tr.Instant(d.lane, "hdd", "spin_up", now)
 	d.meter.Set(d.cElec, d.cfg.PElec, now)
 	d.meter.Set(d.cSpindle, d.cfg.PSpinUp-d.cfg.PElec, now)
-	d.eng.After(d.cfg.TSpinUp, func() {
+	d.eng.PostAfter(d.cfg.TSpinUp, func() {
 		t := d.eng.Now()
 		d.spin = spinning
 		d.meter.Set(d.cSpindle, d.cfg.PSpindle, t)

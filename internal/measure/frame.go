@@ -35,10 +35,19 @@ var (
 // is empty or exceeds maxFrameSamples, or if a code does not fit in 24
 // bits — those are programming errors in the sampler.
 func EncodeFrame(seq uint16, codes []int32) []byte {
+	return AppendFrame(make([]byte, 0, 5+3*len(codes)+2), seq, codes)
+}
+
+// AppendFrame is EncodeFrame into a caller-owned buffer: it appends the
+// encoded frame to dst and returns the extended slice. The sampler hot
+// path passes the same buffer every flush so steady-state framing does
+// not allocate.
+func AppendFrame(dst []byte, seq uint16, codes []int32) []byte {
 	if len(codes) == 0 || len(codes) > maxFrameSamples {
 		panic(fmt.Sprintf("measure: frame with %d samples", len(codes)))
 	}
-	buf := make([]byte, 0, 5+3*len(codes)+2)
+	start := len(dst)
+	buf := dst
 	buf = binary.BigEndian.AppendUint16(buf, frameSync)
 	buf = binary.BigEndian.AppendUint16(buf, seq)
 	buf = append(buf, byte(len(codes)))
@@ -49,39 +58,51 @@ func EncodeFrame(seq uint16, codes []int32) []byte {
 		u := uint32(c) & 0xFFFFFF
 		buf = append(buf, byte(u>>16), byte(u>>8), byte(u))
 	}
-	return binary.BigEndian.AppendUint16(buf, crc16(buf))
+	return binary.BigEndian.AppendUint16(buf, crc16(buf[start:]))
 }
 
 // DecodeFrame parses one frame, verifying sync and CRC, and returns the
 // number of bytes consumed.
 func DecodeFrame(b []byte) (Frame, int, error) {
+	seq, codes, total, err := DecodeFrameInto(b, nil)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	return Frame{Seq: seq, Codes: codes}, total, nil
+}
+
+// DecodeFrameInto is DecodeFrame into a caller-owned slice: decoded
+// codes are appended to codes and the extended slice is returned along
+// with the frame sequence number and bytes consumed. The sampler hot
+// path passes the same slice every flush so steady-state decoding does
+// not allocate.
+func DecodeFrameInto(b []byte, codes []int32) (uint16, []int32, int, error) {
 	if len(b) < 7 {
-		return Frame{}, 0, ErrShortFrame
+		return 0, codes, 0, ErrShortFrame
 	}
 	if binary.BigEndian.Uint16(b) != frameSync {
-		return Frame{}, 0, ErrBadSync
+		return 0, codes, 0, ErrBadSync
 	}
 	n := int(b[4])
 	if n == 0 || n > maxFrameSamples {
-		return Frame{}, 0, fmt.Errorf("measure: implausible sample count %d", n)
+		return 0, codes, 0, fmt.Errorf("measure: implausible sample count %d", n)
 	}
 	total := 5 + 3*n + 2
 	if len(b) < total {
-		return Frame{}, 0, ErrShortFrame
+		return 0, codes, 0, ErrShortFrame
 	}
 	if crc16(b[:total-2]) != binary.BigEndian.Uint16(b[total-2:total]) {
-		return Frame{}, 0, ErrBadCRC
+		return 0, codes, 0, ErrBadCRC
 	}
-	f := Frame{Seq: binary.BigEndian.Uint16(b[2:4]), Codes: make([]int32, n)}
 	for i := 0; i < n; i++ {
 		o := 5 + 3*i
 		u := uint32(b[o])<<16 | uint32(b[o+1])<<8 | uint32(b[o+2])
 		if u&0x800000 != 0 { // sign-extend 24→32 bits
 			u |= 0xFF000000
 		}
-		f.Codes[i] = int32(u)
+		codes = append(codes, int32(u))
 	}
-	return f, total, nil
+	return binary.BigEndian.Uint16(b[2:4]), codes, total, nil
 }
 
 // crc16 is CRC-16/CCITT-FALSE, the variant small microcontroller

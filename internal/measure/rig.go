@@ -65,6 +65,8 @@ type Rig struct {
 	seq       uint16
 	batch     []int32
 	batchT    []time.Duration
+	wireBuf   []byte  // reused frame encode/transmit buffer
+	codeBuf   []int32 // reused logger-side decode buffer
 	sampling  bool
 	tick      *sim.Timer
 	FramesOK  int
@@ -98,6 +100,11 @@ func NewRig(eng *sim.Engine, rng *sim.RNG, src PowerSource, cfg RigConfig) (*Rig
 		adc:   NewADS1256(),
 		wire:  r.Stream("wire"),
 		tr:    &trace.PowerTrace{},
+
+		batch:   make([]int32, 0, cfg.FrameSamples),
+		batchT:  make([]time.Duration, 0, cfg.FrameSamples),
+		wireBuf: make([]byte, 0, 5+3*cfg.FrameSamples+2),
+		codeBuf: make([]int32, 0, cfg.FrameSamples),
 
 		tracer:     eng.Tracer(),
 		cSamples:   eng.Metrics().Counter("rig_samples_total"),
@@ -146,20 +153,46 @@ func (r *Rig) Start() {
 		return
 	}
 	r.sampling = true
-	r.scheduleTick()
+	if r.tick == nil {
+		r.tick = r.eng.After(r.cfg.SampleEvery, r.onTick)
+	} else {
+		r.tick.RescheduleAfter(r.cfg.SampleEvery)
+	}
 }
 
-func (r *Rig) scheduleTick() {
-	r.tick = r.eng.After(r.cfg.SampleEvery, func() {
-		r.batch = append(r.batch, r.sampleCode(r.src.InstantPower()))
-		r.batchT = append(r.batchT, r.eng.Now())
-		if len(r.batch) >= r.cfg.FrameSamples {
-			r.flush()
+// onTick takes one ADC sample, then enters the sampling fast path: as
+// long as the next sample instant falls strictly before any pending
+// event (device power is piecewise-constant between events, so nothing
+// the rig observes can change) and within the active RunUntil deadline,
+// it advances the virtual clock and samples inline instead of
+// round-tripping the event queue. The clock genuinely advances to each
+// sample instant, so lazily-integrated meter state and RNG draw order
+// are exactly what the one-event-per-sample loop produced.
+func (r *Rig) onTick() {
+	r.sampleOnce()
+	next := r.eng.Now() + r.cfg.SampleEvery
+	for r.sampling {
+		if p, ok := r.eng.NextEventAt(); ok && p <= next {
+			break
 		}
-		if r.sampling {
-			r.scheduleTick()
+		if dl, ok := r.eng.Deadline(); !ok || next > dl {
+			break
 		}
-	})
+		r.eng.AdvanceTo(next)
+		r.sampleOnce()
+		next += r.cfg.SampleEvery
+	}
+	if r.sampling {
+		r.tick.Reschedule(next)
+	}
+}
+
+func (r *Rig) sampleOnce() {
+	r.batch = append(r.batch, r.sampleCode(r.src.InstantPower()))
+	r.batchT = append(r.batchT, r.eng.Now())
+	if len(r.batch) >= r.cfg.FrameSamples {
+		r.flush()
+	}
 }
 
 // Stop halts sampling and flushes any partial frame.
@@ -183,7 +216,8 @@ func (r *Rig) Sampling() bool { return r.sampling }
 // across the (possibly noisy) link, decodes it on the logger side, and
 // appends calibrated samples to the trace.
 func (r *Rig) flush() {
-	wire := EncodeFrame(r.seq, r.batch)
+	wire := AppendFrame(r.wireBuf[:0], r.seq, r.batch)
+	r.wireBuf = wire
 	r.seq++
 	if r.cfg.BitErrorRate > 0 {
 		for i := range wire {
@@ -194,15 +228,16 @@ func (r *Rig) flush() {
 			}
 		}
 	}
-	f, _, err := DecodeFrame(wire)
+	_, codes, _, err := DecodeFrameInto(wire, r.codeBuf[:0])
+	r.codeBuf = codes
 	if err != nil {
 		r.FramesBad++
 		r.cFramesBad.Inc()
 	} else {
 		r.FramesOK++
 		r.cFramesOK.Inc()
-		r.cSamples.Add(int64(len(f.Codes)))
-		for i, code := range f.Codes {
+		r.cSamples.Add(int64(len(codes)))
+		for i, code := range codes {
 			w := r.Watts(code)
 			r.tr.Append(r.batchT[i], w)
 			r.tracer.Counter("power_w", r.batchT[i], w)

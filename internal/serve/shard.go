@@ -63,6 +63,15 @@ type shard struct {
 	inflight int
 	stopped  bool
 	prevE    float64
+
+	// Interval energy accounting rides on one rescheduled timer instead
+	// of a build-time event per interval.
+	ivIdx   int
+	ivTimer *sim.Timer
+
+	// freeDone pools per-request completion records across the shard's
+	// lanes; the pool never grows past the shard's total in-flight depth.
+	freeDone *laneDone
 }
 
 // EnergyJ is the shard's aggregate device energy; the sliding-window
@@ -146,6 +155,36 @@ func (l *lane) dispatch() {
 	}
 }
 
+// laneDone is one in-flight request's completion record, pooled on the
+// shard so steady-state serving submits without allocating: the closure
+// handed to the device is built once per record and only its captured
+// fields change between reuses.
+type laneDone struct {
+	l        *lane
+	admitted time.Duration
+	fn       func()
+	next     *laneDone
+}
+
+func (d *laneDone) run() {
+	// Copy out and recycle first: the dispatch below may pick this very
+	// record up for the replacement request.
+	l, admitted := d.l, d.admitted
+	s := l.sh
+	d.next = s.freeDone
+	s.freeDone = d
+	now := s.eng.Now()
+	l.inflight--
+	s.inflight--
+	s.res.Completed++
+	s.res.BytesCompleted += s.spec.ChunkBytes
+	// Latency is measured from admission, so queue wait under a
+	// curtailed budget is part of the serving tail, as it would be
+	// for a real frontend.
+	s.res.Latencies = append(s.res.Latencies, now-admitted)
+	l.dispatch()
+}
+
 func (l *lane) submit(admitted time.Duration) {
 	s := l.sh
 	l.inflight++
@@ -155,18 +194,15 @@ func (l *lane) submit(admitted time.Duration) {
 		op = device.OpRead
 	}
 	req := device.Request{Op: op, Offset: l.nextOffset(), Size: s.spec.ChunkBytes}
-	l.dev.Submit(req, func() {
-		now := s.eng.Now()
-		l.inflight--
-		s.inflight--
-		s.res.Completed++
-		s.res.BytesCompleted += s.spec.ChunkBytes
-		// Latency is measured from admission, so queue wait under a
-		// curtailed budget is part of the serving tail, as it would be
-		// for a real frontend.
-		s.res.Latencies = append(s.res.Latencies, now-admitted)
-		l.dispatch()
-	})
+	d := s.freeDone
+	if d == nil {
+		d = &laneDone{}
+		d.fn = d.run
+	} else {
+		s.freeDone = d.next
+	}
+	d.l, d.admitted = l, admitted
+	l.dev.Submit(req, d.fn)
 }
 
 func (l *lane) nextOffset() int64 {
@@ -211,6 +247,26 @@ func (s *shard) planBudget(i int) float64 {
 		return sample.PowerW * govGuard
 	}
 	return s.maxW[i] * govGuard
+}
+
+// intervalBoundary is the virtual time interval k's accounting fires,
+// clamped to the horizon for the final partial interval.
+func (s *shard) intervalBoundary(k int) time.Duration {
+	t := time.Duration(k) * s.spec.ControlPeriod
+	if t > s.spec.Horizon {
+		t = s.spec.Horizon
+	}
+	return t
+}
+
+func (s *shard) intervalTick() {
+	e := s.EnergyJ()
+	s.res.IntervalEnergyJ[s.ivIdx] = e - s.prevE
+	s.prevE = e
+	s.ivIdx++
+	if s.ivIdx < len(s.res.IntervalEnergyJ) {
+		s.ivTimer.Reschedule(s.intervalBoundary(s.ivIdx + 1))
+	}
 }
 
 // runShard builds and runs one shard to completion.
@@ -308,25 +364,18 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 
 	for _, st := range sp.Budget[1:] {
 		st := st
-		eng.Schedule(st.At, func() { s.applyBudget(st.FleetW) })
+		eng.Post(st.At, func() { s.applyBudget(st.FleetW) })
 	}
 
-	// Power accounting per control interval.
+	// Power accounting per control interval: one timer walks the
+	// interval boundaries, rescheduling itself in place. The interval
+	// event only reads EnergyJ (and no co-timed event deposits energy
+	// discontinuously), so its order among co-timed control events does
+	// not affect any recorded value.
 	nIv := int((sp.Horizon + sp.ControlPeriod - 1) / sp.ControlPeriod)
 	s.res.IntervalEnergyJ = make([]float64, nIv)
 	s.prevE = s.EnergyJ()
-	for k := 1; k <= nIv; k++ {
-		k := k
-		t := time.Duration(k) * sp.ControlPeriod
-		if t > sp.Horizon {
-			t = sp.Horizon
-		}
-		eng.Schedule(t, func() {
-			e := s.EnergyJ()
-			s.res.IntervalEnergyJ[k-1] = e - s.prevE
-			s.prevE = e
-		})
-	}
+	s.ivTimer = eng.Schedule(s.intervalBoundary(1), s.intervalTick)
 
 	var capProbe *invariant.CapProbe
 	var clockProbe *invariant.ClockProbe

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Chain is an event FIFO for a serialized resource: a source whose
+// event times are non-decreasing by construction (a device command
+// unit, a host link, a NAND die — anything reserved through a
+// busy-until horizon). Because the source's events are already in fire
+// order relative to each other, they do not need individual slots in
+// the engine's priority queue: the Chain buffers them in a ring and
+// keeps exactly one representative Timer in the heap, carrying the head
+// event's (time, seq) key. Each fire pops the head and re-keys the
+// representative to the next event.
+//
+// This turns the dominant event class in device-saturated runs from a
+// heap push + pop over an O(pending-IO) queue into an O(1) ring append
+// and shrinks the heap to roughly one entry per resource, which is the
+// difference between sift loops walking DRAM and walking L1.
+//
+// Determinism contract: Chain.Post consumes one scheduling sequence
+// number exactly like Engine.Post, and the representative always
+// carries the head's original (time, seq), so the global fire order —
+// including FIFO ordering among co-timed events on different chains or
+// plain timers — is bit-for-bit the order the same Posts would have
+// produced through the heap.
+type Chain struct {
+	eng  *Engine
+	rep  *Timer
+	ring []chainEv
+	head int
+	n    int
+	last time.Duration // most recently queued time, for the monotonicity check
+}
+
+type chainEv struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// NewChain returns an empty chain on the engine. The caller must only
+// post non-decreasing times to it.
+func (e *Engine) NewChain() *Chain {
+	c := &Chain{eng: e, ring: make([]chainEv, 16)}
+	c.rep = &Timer{eng: e, index: -1}
+	c.rep.chain = c
+	return c
+}
+
+// Post schedules fn at absolute virtual time at, which must be no
+// earlier than both the current time and the chain's most recently
+// posted time. Fire-and-forget: chain events cannot be stopped.
+func (c *Chain) Post(at time.Duration, fn func()) {
+	e := c.eng
+	e.checkSchedule(at, fn)
+	if at < c.last {
+		panic(fmt.Sprintf("sim: chain post at %v before prior post at %v", at, c.last))
+	}
+	c.last = at
+	seq := e.seq
+	e.seq++
+	if c.n == len(c.ring) {
+		c.grow()
+	}
+	c.ring[(c.head+c.n)&(len(c.ring)-1)] = chainEv{at, seq, fn}
+	c.n++
+	if c.n == 1 {
+		c.rep.at, c.rep.seq = at, seq
+		e.armRep(c.rep)
+	} else {
+		e.chainExtra++
+	}
+}
+
+// PostLoose schedules fn at absolute time at, riding the chain when at
+// preserves the chain's time order and falling back to a plain engine
+// Post when it does not (an admission horizon can move backward when a
+// power-state change swaps the regulator). One sequence number is
+// consumed either way, and fire order is (time, seq) regardless of
+// which structure carries the event, so the routing choice is invisible
+// to the simulation.
+func (c *Chain) PostLoose(at time.Duration, fn func()) {
+	if at < c.last {
+		c.eng.Post(at, fn)
+		return
+	}
+	c.Post(at, fn)
+}
+
+// Len returns the number of events buffered on the chain.
+func (c *Chain) Len() int { return c.n }
+
+// grow doubles the ring, unwrapping it to the front.
+func (c *Chain) grow() {
+	old := c.ring
+	next := make([]chainEv, len(old)*2)
+	m := len(old) - 1
+	for i := 0; i < c.n; i++ {
+		next[i] = old[(c.head+i)&m]
+	}
+	c.ring = next
+	c.head = 0
+}

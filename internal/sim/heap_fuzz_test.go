@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+)
+
+// The engine's inlined 4-ary heap (plus the chain ring buffers and the
+// timing wheel in front of it) must fire events in exactly the order a
+// textbook priority queue over (time, seq) would. FuzzHeapDifferential
+// drives both from the same random script of schedule / post / chain-post
+// / stop / reschedule / step operations and requires identical fire
+// sequences, including FIFO order among co-timed events.
+
+type refEv struct {
+	at  time.Duration
+	seq uint64
+	id  int
+}
+
+type refHeap []refEv
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refEv)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	ev := old[n]
+	*h = old[:n]
+	return ev
+}
+
+func (h *refHeap) removeID(id int) bool {
+	for i, ev := range *h {
+		if ev.id == id {
+			heap.Remove(h, i)
+			return true
+		}
+	}
+	return false
+}
+
+func FuzzHeapDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0, 5, 0, 5, 0, 5, 0})
+	f.Add([]byte{2, 3, 2, 3, 2, 3, 5, 0, 3, 0, 5, 0, 4, 1, 7})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 0, 2, 0, 5, 0, 6, 200, 6, 10, 5, 0})
+	f.Add([]byte{0, 9, 4, 0, 20, 3, 0, 4, 0, 9, 5, 0, 5, 0, 5, 0})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		e := NewEngine()
+		chains := [2]*Chain{e.NewChain(), e.NewChain()}
+
+		var ref refHeap
+		var refSeq uint64
+		nextID := 0
+
+		var engFired, refFired []int
+
+		// Owned timers created so far; ownedEv[k] is the id of timer k's
+		// currently pending firing, -1 when none. The engine callback
+		// reads the id at fire time, so a Reschedule changes which id the
+		// next firing reports — on both sides.
+		var owned []*Timer
+		var ownedEv []int
+
+		push := func(at time.Duration, id int) {
+			heap.Push(&ref, refEv{at, refSeq, id})
+			refSeq++
+		}
+
+		for i := 0; i+1 < len(script) && nextID < 512; i += 2 {
+			op, arg := script[i]%7, script[i+1]
+			delta := time.Duration(arg) * 64 * time.Nanosecond
+			at := e.Now() + delta
+			switch op {
+			case 0: // schedule an owned timer
+				id := nextID
+				nextID++
+				k := len(owned)
+				owned = append(owned, nil)
+				ownedEv = append(ownedEv, id)
+				owned[k] = e.Schedule(at, func() {
+					engFired = append(engFired, ownedEv[k])
+					ownedEv[k] = -1
+				})
+				push(at, id)
+			case 1: // fire-and-forget post
+				id := nextID
+				nextID++
+				e.Post(at, func() { engFired = append(engFired, id) })
+				push(at, id)
+			case 2: // chain post (loose: tolerates non-monotone times)
+				id := nextID
+				nextID++
+				chains[int(arg)%2].PostLoose(at, func() { engFired = append(engFired, id) })
+				push(at, id)
+			case 3: // stop an owned timer
+				if len(owned) == 0 {
+					continue
+				}
+				k := int(arg) % len(owned)
+				got := owned[k].Stop()
+				want := ownedEv[k] >= 0
+				if got != want {
+					t.Fatalf("op %d: Stop(timer %d) = %v, reference pending = %v", i, k, got, want)
+				}
+				if want {
+					ref.removeID(ownedEv[k])
+					ownedEv[k] = -1
+				}
+			case 4: // reschedule an owned timer (pending, stopped, or fired)
+				if len(owned) == 0 {
+					continue
+				}
+				k := int(arg) % len(owned)
+				id := nextID
+				nextID++
+				if ownedEv[k] >= 0 {
+					ref.removeID(ownedEv[k])
+				}
+				ownedEv[k] = id
+				owned[k].Reschedule(at)
+				push(at, id)
+			case 5: // dispatch one event
+				engOK := e.Step()
+				if refOK := ref.Len() > 0; engOK != refOK {
+					t.Fatalf("op %d: Step() = %v but reference has %d pending", i, engOK, ref.Len())
+				}
+				if engOK {
+					refFired = append(refFired, heap.Pop(&ref).(refEv).id)
+				}
+			case 6: // far post, exercising wheel parking and overflow
+				id := nextID
+				nextID++
+				farAt := e.Now() + time.Duration(arg+1)*time.Millisecond
+				chains[int(arg)%2].PostLoose(farAt, func() { engFired = append(engFired, id) })
+				push(farAt, id)
+			}
+			if e.Pending() != ref.Len() {
+				t.Fatalf("op %d: Pending() = %d, reference = %d", i, e.Pending(), ref.Len())
+			}
+		}
+
+		e.Run()
+		for ref.Len() > 0 {
+			refFired = append(refFired, heap.Pop(&ref).(refEv).id)
+		}
+
+		if len(engFired) != len(refFired) {
+			t.Fatalf("engine fired %d events, reference %d", len(engFired), len(refFired))
+		}
+		for i := range engFired {
+			if engFired[i] != refFired[i] {
+				t.Fatalf("fire order diverges at %d: engine %v, reference %v",
+					i, engFired[i:min(i+8, len(engFired))], refFired[i:min(i+8, len(refFired))])
+			}
+		}
+	})
+}

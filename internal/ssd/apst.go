@@ -45,7 +45,7 @@ func (d *SSD) armAPST() {
 	if next >= len(d.cfg.NonOpStates) {
 		return
 	}
-	if d.apstTimer != nil {
+	if d.apstArmed {
 		return // already armed
 	}
 	// The idle clock starts now; deeper states are relative to the
@@ -54,20 +54,27 @@ func (d *SSD) armAPST() {
 	if next > 0 {
 		wait -= d.cfg.NonOpStates[next-1].IdleBefore
 	}
-	d.apstTimer = d.eng.After(wait, func() {
-		d.apstTimer = nil
-		if !d.apstEnabled || d.mode != awake || d.active() {
-			return
-		}
-		d.enterNonOp(d.nonOpIndex + 1)
-		d.armAPST() // chain toward deeper states
-	})
+	d.apstArmed = true
+	if d.apstTimer == nil {
+		d.apstTimer = d.eng.After(wait, d.apstFire)
+	} else {
+		d.apstTimer.RescheduleAfter(wait)
+	}
+}
+
+func (d *SSD) apstFire() {
+	d.apstArmed = false
+	if !d.apstEnabled || d.mode != awake || d.active() {
+		return
+	}
+	d.enterNonOp(d.nonOpIndex + 1)
+	d.armAPST() // chain toward deeper states
 }
 
 func (d *SSD) stopAPSTTimer() {
-	if d.apstTimer != nil {
+	if d.apstArmed {
 		d.apstTimer.Stop()
-		d.apstTimer = nil
+		d.apstArmed = false
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"wattio/internal/device"
+	"wattio/internal/power"
 )
 
 // occupy reserves a serialized resource whose availability horizon is
@@ -47,6 +48,88 @@ func (d *SSD) admit(energy float64) time.Duration {
 	return max(ready, d.stateReadyAt)
 }
 
+// ssdOp carries one request through the controller pipeline. The record
+// and its method-value callbacks are built once and recycled through a
+// per-device free list, so a steady IO stream allocates nothing: every
+// stage that used to capture the request in a fresh closure instead
+// reads it from the op. The op is recycled at the final stage of its
+// path, after copying what the tail of that stage still needs — a
+// recycled op may be handed out again by the very next Submit.
+type ssdOp struct {
+	d          *SSD
+	r          device.Request
+	done       func()
+	sequential bool
+	pulseW     float64
+	eCmd       float64
+	nandBytes  float64
+	remaining  int // read path: page ops still in flight
+
+	cmdStartFn   func()
+	cmdEndFn     func()
+	pathReadyFn  func()
+	wReservedFn  func()
+	wXferStartFn func()
+	wXferEndFn   func()
+	wInsertFn    func()
+	wAckReadyFn  func()
+	rXferStartFn func()
+	rXferEndFn   func()
+
+	next *ssdOp
+}
+
+// getOp draws a request op from the free list, building the callback
+// set only on first allocation.
+func (d *SSD) getOp() *ssdOp {
+	op := d.freeOp
+	if op == nil {
+		op = &ssdOp{d: d}
+		op.cmdStartFn = op.cmdStart
+		op.cmdEndFn = op.cmdEnd
+		op.pathReadyFn = op.pathReady
+		op.wReservedFn = op.wReserved
+		op.wXferStartFn = op.wXferStart
+		op.wXferEndFn = op.wXferEnd
+		op.wInsertFn = op.wInsert
+		op.wAckReadyFn = op.wAckReady
+		op.rXferStartFn = op.rXferStart
+		op.rXferEndFn = op.rXferEnd
+	} else {
+		d.freeOp = op.next
+	}
+	return op
+}
+
+// pageOp is one NAND page operation (a program or a read) on a die: a
+// power-on event at start and a power-off/bookkeeping event at end,
+// both riding the die's chain. Pooled like ssdOp.
+type pageOp struct {
+	d       *SSD
+	c       power.Component
+	group   *ssdOp // read fan-in target; nil for a program
+	release int64  // buffer bytes freed when a program lands
+
+	startFn func()
+	endFn   func()
+
+	next *pageOp
+}
+
+func (d *SSD) getPage() *pageOp {
+	pg := d.freePage
+	if pg == nil {
+		pg = &pageOp{d: d}
+		pg.startFn = pg.start
+		pg.endFn = pg.end
+	} else {
+		d.freePage = pg.next
+	}
+	pg.group = nil
+	pg.release = 0
+	return pg
+}
+
 // begin runs a request through the controller command stage, then hands
 // it to the read or write path. It must run with the device awake.
 func (d *SSD) begin(r device.Request, done func()) {
@@ -64,28 +147,41 @@ func (d *SSD) begin(r device.Request, done func()) {
 	if r.Op == device.OpWrite {
 		ct, eCmd = d.cfg.CmdTimeWrite, d.cfg.ECmdWriteJ
 	}
-	start, end := occupy(&d.cmdFreeAt, d.eng.Now(), ct)
-	pulseW := 0.0
-	if ct > 0 {
-		pulseW = eCmd / ct.Seconds()
+	pulseW := d.pulseWRead
+	if r.Op == device.OpWrite {
+		pulseW = d.pulseWWrite
 	}
-	d.eng.Schedule(start, func() { d.meter.Set(d.cCmd, pulseW, d.eng.Now()) })
-	d.eng.Schedule(end, func() {
-		d.meter.Set(d.cCmd, 0, d.eng.Now())
-		// Admit the host-path energy (command + link transfer) against
-		// the power-state regulator before moving data.
-		ready := d.admit(eCmd + d.linkEnergyJ(r.Size))
-		d.eng.Schedule(ready, func() {
-			if r.Op == device.OpWrite {
-				d.writePath(r, sequential, done)
-			} else {
-				d.readPath(r, done)
-			}
-		})
-	})
+	start, end := occupy(&d.cmdFreeAt, d.eng.Now(), ct)
+	op := d.getOp()
+	op.r, op.done, op.sequential, op.eCmd = r, done, sequential, eCmd
+	op.pulseW = pulseW
+	d.chCmd.Post(start, op.cmdStartFn)
+	d.chCmd.Post(end, op.cmdEndFn)
 }
 
-// writePath: reserve write-buffer space (backpressure lives here), move
+func (op *ssdOp) cmdStart() {
+	d := op.d
+	d.meter.Set(d.cCmd, op.pulseW, d.eng.Now())
+}
+
+func (op *ssdOp) cmdEnd() {
+	d := op.d
+	d.meter.Set(d.cCmd, 0, d.eng.Now())
+	// Admit the host-path energy (command + link transfer) against
+	// the power-state regulator before moving data.
+	ready := d.admit(op.eCmd + d.linkEnergyJ(op.r.Size))
+	d.chReady.PostLoose(ready, op.pathReadyFn)
+}
+
+func (op *ssdOp) pathReady() {
+	if op.r.Op == device.OpWrite {
+		op.d.reserveBuffer(op.r.Size, op.wReservedFn)
+	} else {
+		op.readPath()
+	}
+}
+
+// Write path: reserve write-buffer space (backpressure lives here), move
 // the data over the host link, then acknowledge after the DRAM insert
 // AND after the write's NAND energy has been admitted by the power-state
 // regulator. The admission at the ack point is firmware admission
@@ -93,31 +189,53 @@ func (d *SSD) begin(r device.Request, done func()) {
 // energy it would have to pay back inside the same averaging window, so
 // power debt surfaces as host-visible write latency — the mechanism
 // behind the paper's Fig. 5 latency inflation.
-func (d *SSD) writePath(r device.Request, sequential bool, done func()) {
-	d.reserveBuffer(r.Size, func() {
-		xferStart, xferEnd := occupy(&d.linkFreeAt, d.eng.Now(), d.linkTime(r.Size))
-		d.eng.Schedule(xferStart, func() { d.meter.Set(d.cIface, d.cfg.PIfaceActive, d.eng.Now()) })
-		d.eng.Schedule(xferEnd, func() {
-			d.meter.Set(d.cIface, d.cfg.PIfaceIdle, d.eng.Now())
-			insert := d.cfg.TWriteAck + time.Duration(float64(r.Size)/(d.cfg.InsertBWMBps*1e6)*float64(time.Second))
-			d.eng.After(insert, func() {
-				// The FTL coalesces writes into open pages, so NAND
-				// work is proportional to bytes, not request count:
-				// sub-page writes share page programs.
-				nandBytes := float64(r.Size)
-				if !sequential && d.cfg.WriteAmp > 1 {
-					nandBytes *= d.cfg.WriteAmp
-				}
-				energy := d.eProg * nandBytes / float64(d.cfg.PageSize)
-				ready := d.admit(energy)
-				d.eng.Schedule(ready, func() {
-					d.inflight--
-					done()
-					d.spawnPrograms(r.Size, int64(nandBytes)-r.Size)
-				})
-			})
-		})
-	})
+
+func (op *ssdOp) wReserved() {
+	d := op.d
+	xferStart, xferEnd := occupy(&d.linkFreeAt, d.eng.Now(), d.linkTime(op.r.Size))
+	d.chLink.Post(xferStart, op.wXferStartFn)
+	d.chLink.Post(xferEnd, op.wXferEndFn)
+}
+
+func (op *ssdOp) wXferStart() {
+	d := op.d
+	d.meter.Set(d.cIface, d.cfg.PIfaceActive, d.eng.Now())
+}
+
+func (op *ssdOp) wXferEnd() {
+	d := op.d
+	d.meter.Set(d.cIface, d.cfg.PIfaceIdle, d.eng.Now())
+	insert := d.cfg.TWriteAck + time.Duration(float64(op.r.Size)/(d.cfg.InsertBWMBps*1e6)*float64(time.Second))
+	d.chInsert.PostLoose(d.eng.Now()+insert, op.wInsertFn)
+}
+
+func (op *ssdOp) wInsert() {
+	d := op.d
+	// The FTL coalesces writes into open pages, so NAND work is
+	// proportional to bytes, not request count: sub-page writes share
+	// page programs.
+	nandBytes := float64(op.r.Size)
+	if !op.sequential && d.cfg.WriteAmp > 1 {
+		nandBytes *= d.cfg.WriteAmp
+	}
+	op.nandBytes = nandBytes
+	energy := d.eProg * nandBytes / float64(d.cfg.PageSize)
+	ready := d.admit(energy)
+	d.chReady.PostLoose(ready, op.wAckReadyFn)
+}
+
+func (op *ssdOp) wAckReady() {
+	d, done := op.d, op.done
+	hostBytes := op.r.Size
+	ampBytes := int64(op.nandBytes) - hostBytes
+	// Recycle before the completion runs: done() may submit the next IO
+	// and that Submit may reuse this very op.
+	op.done = nil
+	op.next = d.freeOp
+	d.freeOp = op
+	d.inflight--
+	done()
+	d.spawnPrograms(hostBytes, ampBytes)
 }
 
 // spawnPrograms accumulates acknowledged bytes into the device's open
@@ -137,25 +255,30 @@ func (d *SSD) spawnPrograms(hostBytes, ampBytes int64) {
 	}
 	// (Re)arm the open-page flush: if no further writes arrive, the
 	// partial pages program after a short dwell, as real FTLs flush on
-	// idle so buffered data reaches durable media.
-	if d.flushTimer != nil {
-		d.flushTimer.Stop()
-		d.flushTimer = nil
-	}
+	// idle so buffered data reaches durable media. One owned timer
+	// serves every arm; re-sifting it replaces the old stop+realloc.
 	if d.hostPending > 0 || d.ampPending > 0 {
-		d.flushTimer = d.eng.After(10*time.Millisecond, func() {
-			d.flushTimer = nil
-			d.taps.pageFlushes.Inc()
-			d.tr.Instant(d.lane, "ssd", "open_page_flush", d.eng.Now())
-			if d.hostPending > 0 {
-				d.programPage(d.hostPending)
-				d.hostPending = 0
-			}
-			if d.ampPending > 0 {
-				d.programPage(0)
-				d.ampPending = 0
-			}
-		})
+		if d.flushTimer == nil {
+			d.flushTimer = d.eng.After(10*time.Millisecond, d.flushOpenPages)
+		} else {
+			d.flushTimer.RescheduleAfter(10 * time.Millisecond)
+		}
+	} else if d.flushTimer != nil {
+		d.flushTimer.Stop()
+	}
+}
+
+// flushOpenPages programs any open partial pages after the idle dwell.
+func (d *SSD) flushOpenPages() {
+	d.taps.pageFlushes.Inc()
+	d.tr.Instant(d.lane, "ssd", "open_page_flush", d.eng.Now())
+	if d.hostPending > 0 {
+		d.programPage(d.hostPending)
+		d.hostPending = 0
+	}
+	if d.ampPending > 0 {
+		d.programPage(0)
+		d.ampPending = 0
 	}
 }
 
@@ -169,66 +292,97 @@ func (d *SSD) programPage(release int64) {
 	start := max(ready, d.dieFreeAt[die])
 	end := start + d.cfg.TProg + d.pageXfer
 	d.dieFreeAt[die] = end
-	c := d.cDies[die]
 	d.taps.pagePrograms.Inc()
 	if d.tr.Enabled() {
 		d.tr.Span(d.laneDies[die], "ssd", "program", start, end)
 	}
-	d.eng.Schedule(start, func() {
-		d.taps.diesBusy.Add(1)
-		d.meter.Set(c, d.pProgEff, d.eng.Now())
-	})
-	d.eng.Schedule(end, func() {
-		d.taps.diesBusy.Add(-1)
-		d.meter.Set(c, 0, d.eng.Now())
-		if release > 0 {
-			d.releaseBuffer(release)
+	pg := d.getPage()
+	pg.c = d.cDies[die]
+	pg.release = release
+	d.chDies[die].Post(start, pg.startFn)
+	d.chDies[die].Post(end, pg.endFn)
+}
+
+func (pg *pageOp) start() {
+	d := pg.d
+	d.taps.diesBusy.Add(1)
+	w := d.pProgEff
+	if pg.group != nil {
+		w = d.pReadEff
+	}
+	d.meter.Set(pg.c, w, d.eng.Now())
+}
+
+func (pg *pageOp) end() {
+	d, c, group, release := pg.d, pg.c, pg.group, pg.release
+	pg.group = nil
+	pg.next = d.freePage
+	d.freePage = pg
+	d.taps.diesBusy.Add(-1)
+	d.meter.Set(c, 0, d.eng.Now())
+	if group != nil {
+		group.remaining--
+		if group.remaining == 0 {
+			group.readFinish()
 		}
-		d.armAPST()
-	})
+		return
+	}
+	if release > 0 {
+		d.releaseBuffer(release)
+	}
+	d.armAPST()
 }
 
 // readPath fans page reads out across the dies the request's pages map
 // to, then returns the data over the host link in one transfer.
-func (d *SSD) readPath(r device.Request, done func()) {
+func (op *ssdOp) readPath() {
+	d := op.d
+	r := op.r
 	firstPage := r.Offset / d.cfg.PageSize
 	lastPage := (r.Offset + r.Size - 1) / d.cfg.PageSize
-	remaining := int(lastPage - firstPage + 1)
+	op.remaining = int(lastPage - firstPage + 1)
 	opDur := d.cfg.TRead + d.pageXfer
-	finish := func() {
-		xferStart, xferEnd := occupy(&d.linkFreeAt, d.eng.Now(), d.linkTime(r.Size))
-		d.eng.Schedule(xferStart, func() { d.meter.Set(d.cIface, d.cfg.PIfaceActive, d.eng.Now()) })
-		d.eng.Schedule(xferEnd, func() {
-			d.meter.Set(d.cIface, d.cfg.PIfaceIdle, d.eng.Now())
-			d.inflight--
-			done()
-			d.armAPST()
-		})
-	}
 	for p := firstPage; p <= lastPage; p++ {
 		die := int(p % int64(len(d.cDies)))
 		ready := d.admit(d.eRead)
 		start := max(ready, d.dieFreeAt[die])
 		end := start + opDur
 		d.dieFreeAt[die] = end
-		c := d.cDies[die]
 		d.taps.pageReads.Inc()
 		if d.tr.Enabled() {
 			d.tr.Span(d.laneDies[die], "ssd", "read", start, end)
 		}
-		d.eng.Schedule(start, func() {
-			d.taps.diesBusy.Add(1)
-			d.meter.Set(c, d.pReadEff, d.eng.Now())
-		})
-		d.eng.Schedule(end, func() {
-			d.taps.diesBusy.Add(-1)
-			d.meter.Set(c, 0, d.eng.Now())
-			remaining--
-			if remaining == 0 {
-				finish()
-			}
-		})
+		pg := d.getPage()
+		pg.c = d.cDies[die]
+		pg.group = op
+		d.chDies[die].Post(start, pg.startFn)
+		d.chDies[die].Post(end, pg.endFn)
 	}
+}
+
+// readFinish returns the data over the host link once every page has
+// landed.
+func (op *ssdOp) readFinish() {
+	d := op.d
+	xferStart, xferEnd := occupy(&d.linkFreeAt, d.eng.Now(), d.linkTime(op.r.Size))
+	d.chLink.Post(xferStart, op.rXferStartFn)
+	d.chLink.Post(xferEnd, op.rXferEndFn)
+}
+
+func (op *ssdOp) rXferStart() {
+	d := op.d
+	d.meter.Set(d.cIface, d.cfg.PIfaceActive, d.eng.Now())
+}
+
+func (op *ssdOp) rXferEnd() {
+	d, done := op.d, op.done
+	op.done = nil
+	op.next = d.freeOp
+	d.freeOp = op
+	d.meter.Set(d.cIface, d.cfg.PIfaceIdle, d.eng.Now())
+	d.inflight--
+	done()
+	d.armAPST()
 }
 
 // reserveBuffer grants `bytes` of write-buffer space to cont, queuing
@@ -307,7 +461,11 @@ func (d *SSD) rippleTick() {
 	if dwell < time.Millisecond {
 		dwell = time.Millisecond
 	}
-	d.eng.After(dwell, d.rippleTick)
+	if d.rippleTimer == nil {
+		d.rippleTimer = d.eng.After(dwell, d.rippleTick)
+	} else {
+		d.rippleTimer.RescheduleAfter(dwell)
+	}
 }
 
 var _ device.Device = (*SSD)(nil)

@@ -38,10 +38,21 @@ type SSD struct {
 	psIndex      int
 	stateReadyAt time.Duration
 
-	// Serialized resources, as busy-until horizons.
+	// Serialized resources, as busy-until horizons. Each has an event
+	// chain: its events are time-ordered by construction, so they ride
+	// one heap slot apiece instead of swelling the engine's heap.
 	cmdFreeAt  time.Duration
 	linkFreeAt time.Duration
 	dieFreeAt  []time.Duration
+	chCmd      *sim.Chain
+	chLink     *sim.Chain
+	chDies     []*sim.Chain
+	chReady    *sim.Chain // admit-derived release events (loose-ordered)
+	chInsert   *sim.Chain // DRAM insert completions (loose-ordered)
+
+	// Free lists for the pooled IO-path records (see io.go).
+	freeOp   *ssdOp
+	freePage *pageOp
 
 	// FTL state. hostPending and ampPending are bytes accumulated in
 	// open pages awaiting a full-page program; a flush timer programs
@@ -64,18 +75,22 @@ type SSD struct {
 	apstEnabled bool
 	nonOpIndex  int // -1 when operational
 	apstTimer   *sim.Timer
+	apstArmed   bool
 
 	// Activity tracking for the ripple process.
 	inflight      int
 	rippleRunning bool
 	rippleBurst   bool
+	rippleTimer   *sim.Timer
 
 	// Derived constants.
-	pageXfer time.Duration
-	eRead    float64 // regulated energy per page read
-	eProg    float64 // regulated energy per page program
-	pReadEff float64 // effective die power during a read op
-	pProgEff float64 // effective die power during a program op
+	pageXfer    time.Duration
+	pulseWRead  float64 // controller cmd-pulse draw for a read command
+	pulseWWrite float64 // controller cmd-pulse draw for a write command
+	eRead       float64 // regulated energy per page read
+	eProg       float64 // regulated energy per page program
+	pReadEff    float64 // effective die power during a read op
+	pProgEff    float64 // effective die power during a program op
 
 	// Telemetry. All handles are nil-safe no-ops when the engine has no
 	// telemetry attached.
@@ -131,9 +146,15 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*SSD, error) {
 	n := cfg.Dies()
 	d.cDies = make([]power.Component, n)
 	d.dieFreeAt = make([]time.Duration, n)
+	d.chDies = make([]*sim.Chain, n)
 	for i := range d.cDies {
 		d.cDies[i] = d.meter.AddComponent(fmt.Sprintf("die%d", i), 0)
+		d.chDies[i] = eng.NewChain()
 	}
+	d.chCmd = eng.NewChain()
+	d.chLink = eng.NewChain()
+	d.chReady = eng.NewChain()
+	d.chInsert = eng.NewChain()
 
 	reg := eng.Metrics()
 	d.taps = taps{
@@ -157,6 +178,12 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*SSD, error) {
 	}
 
 	d.pageXfer = time.Duration(float64(cfg.PageSize) / (cfg.ChannelMBps * 1e6) * float64(time.Second))
+	if cfg.CmdTimeRead > 0 {
+		d.pulseWRead = cfg.ECmdReadJ / cfg.CmdTimeRead.Seconds()
+	}
+	if cfg.CmdTimeWrite > 0 {
+		d.pulseWWrite = cfg.ECmdWriteJ / cfg.CmdTimeWrite.Seconds()
+	}
 	readDur := (cfg.TRead + d.pageXfer).Seconds()
 	progDur := (cfg.TProg + d.pageXfer).Seconds()
 	d.eRead = cfg.PDieRead*cfg.TRead.Seconds() + cfg.EPageXferJ
@@ -273,7 +300,7 @@ func (d *SSD) EnterStandby() error {
 	d.taps.standbys.Inc()
 	d.tr.Instant(d.lane, "ssd", "standby_enter", now)
 	d.meter.Set(d.cTrans, d.cfg.PStandbyEnter-d.cfg.IdleFloorW(), now)
-	d.eng.After(d.cfg.StandbyEnter, func() {
+	d.eng.PostAfter(d.cfg.StandbyEnter, func() {
 		if d.mode != entering {
 			return
 		}
@@ -316,7 +343,7 @@ func (d *SSD) startWake() {
 	d.tr.Instant(d.lane, "ssd", "wake", now)
 	d.meter.Set(d.cCtrl, d.cfg.PController, now)
 	d.meter.Set(d.cTrans, d.cfg.PStandbyExit-d.cfg.IdleFloorW(), now)
-	d.eng.After(d.cfg.StandbyExit, func() {
+	d.eng.PostAfter(d.cfg.StandbyExit, func() {
 		t := d.eng.Now()
 		d.mode = awake
 		d.meter.Set(d.cTrans, 0, t)

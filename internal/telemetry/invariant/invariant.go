@@ -87,20 +87,15 @@ func AttachEnergy(eng *sim.Engine, src EnergyAccounting, sampleEvery time.Durati
 
 		running: true,
 	}
-	p.schedule()
+	p.tick = eng.Periodic(sampleEvery, p.observe)
 	return p
 }
 
-func (p *EnergyProbe) schedule() {
-	p.tick = p.eng.After(p.every, func() {
-		now := p.eng.Now()
-		p.integral += p.lastW * (now - p.lastT).Seconds()
-		p.lastT = now
-		p.lastW = p.src.InstantPower()
-		if p.running {
-			p.schedule()
-		}
-	})
+func (p *EnergyProbe) observe() {
+	now := p.eng.Now()
+	p.integral += p.lastW * (now - p.lastT).Seconds()
+	p.lastT = now
+	p.lastW = p.src.InstantPower()
 }
 
 // Stop halts sampling and closes the integral at the current virtual
@@ -223,17 +218,8 @@ func AttachCap(eng *sim.Engine, src EnergyMetered, capW float64, window, sampleE
 	}
 	p.ts = append(p.ts, p.startT)
 	p.es = append(p.es, 0)
-	p.schedule()
+	p.tick = eng.Periodic(sampleEvery, p.observe)
 	return p
-}
-
-func (p *CapProbe) schedule() {
-	p.tick = p.eng.After(p.every, func() {
-		p.observe()
-		if p.running {
-			p.schedule()
-		}
-	})
 }
 
 func (p *CapProbe) observe() {
@@ -311,25 +297,20 @@ func AttachClock(eng *sim.Engine, sampleEvery time.Duration) *ClockProbe {
 
 		running: true,
 	}
-	p.schedule()
+	p.tick = eng.Periodic(sampleEvery, p.observe)
 	return p
 }
 
-func (p *ClockProbe) schedule() {
-	p.tick = p.eng.After(p.every, func() {
-		now := p.eng.Now()
-		p.ticks++
-		if now < p.last {
-			if p.violations == 0 {
-				p.firstBad = now
-			}
-			p.violations++
+func (p *ClockProbe) observe() {
+	now := p.eng.Now()
+	p.ticks++
+	if now < p.last {
+		if p.violations == 0 {
+			p.firstBad = now
 		}
-		p.last = now
-		if p.running {
-			p.schedule()
-		}
-	})
+		p.violations++
+	}
+	p.last = now
 }
 
 // Stop halts sampling.

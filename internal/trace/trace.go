@@ -17,30 +17,72 @@ type PowerSample struct {
 	W float64       // watts
 }
 
+// chunkSamples is the fixed chunk capacity. Power of two so the
+// index split in At compiles to shift and mask.
+const chunkSamples = 4096
+
+// chunk stores samples columnar: times and watts in separate arrays, so
+// statistics passes over watts stream through memory without skipping
+// interleaved timestamps.
+type chunk struct {
+	t [chunkSamples]time.Duration
+	w [chunkSamples]float64
+}
+
 // PowerTrace is an append-only series of power samples in time order.
+//
+// Storage grows in fixed-size columnar chunks: appending never copies
+// samples already stored (no full-slice growth re-appends), so a
+// million-sample rig trace costs a pointer append every 4096 samples
+// and nothing else.
 type PowerTrace struct {
-	samples []PowerSample
+	chunks []*chunk
+	n      int
 }
 
 // Append adds a sample; times must be nondecreasing.
 func (p *PowerTrace) Append(t time.Duration, w float64) {
-	if n := len(p.samples); n > 0 && t < p.samples[n-1].T {
-		panic(fmt.Sprintf("trace: sample at %v before last %v", t, p.samples[n-1].T))
+	if p.n > 0 {
+		if last := p.at(p.n - 1).T; t < last {
+			panic(fmt.Sprintf("trace: sample at %v before last %v", t, last))
+		}
 	}
-	p.samples = append(p.samples, PowerSample{t, w})
+	i := p.n & (chunkSamples - 1)
+	if i == 0 {
+		p.chunks = append(p.chunks, &chunk{})
+	}
+	c := p.chunks[p.n/chunkSamples]
+	c.t[i] = t
+	c.w[i] = w
+	p.n++
 }
 
 // Len returns the number of samples.
-func (p *PowerTrace) Len() int { return len(p.samples) }
+func (p *PowerTrace) Len() int { return p.n }
 
 // At returns sample i.
-func (p *PowerTrace) At(i int) PowerSample { return p.samples[i] }
+func (p *PowerTrace) At(i int) PowerSample {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("trace: sample index %d out of %d", i, p.n))
+	}
+	return p.at(i)
+}
+
+func (p *PowerTrace) at(i int) PowerSample {
+	c := p.chunks[i/chunkSamples]
+	j := i & (chunkSamples - 1)
+	return PowerSample{c.t[j], c.w[j]}
+}
 
 // Watts returns the power values as a slice, for statistics.
 func (p *PowerTrace) Watts() []float64 {
-	out := make([]float64, len(p.samples))
-	for i, s := range p.samples {
-		out[i] = s.W
+	out := make([]float64, 0, p.n)
+	for ci, c := range p.chunks {
+		n := p.n - ci*chunkSamples
+		if n > chunkSamples {
+			n = chunkSamples
+		}
+		out = append(out, c.w[:n]...)
 	}
 	return out
 }
@@ -49,9 +91,10 @@ func (p *PowerTrace) Watts() []float64 {
 // shares no state with the receiver.
 func (p *PowerTrace) Between(a, b time.Duration) *PowerTrace {
 	out := &PowerTrace{}
-	for _, s := range p.samples {
+	for i := 0; i < p.n; i++ {
+		s := p.at(i)
 		if s.T >= a && s.T < b {
-			out.samples = append(out.samples, s)
+			out.Append(s.T, s.W)
 		}
 	}
 	return out
@@ -70,7 +113,8 @@ func (p *PowerTrace) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "time_ms,power_w"); err != nil {
 		return err
 	}
-	for _, s := range p.samples {
+	for i := 0; i < p.n; i++ {
+		s := p.at(i)
 		if _, err := fmt.Fprintf(w, "%.3f,%.6f\n", float64(s.T)/1e6, s.W); err != nil {
 			return err
 		}

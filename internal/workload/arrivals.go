@@ -75,14 +75,22 @@ func (a *Arrivals) schedule() {
 		a.retire()
 		return
 	}
-	a.timer = a.eng.After(d, func() {
-		if a.stopped {
-			return
-		}
-		a.count++
-		a.fn()
-		a.schedule()
-	})
+	// One timer serves the whole process: the first arrival arms it,
+	// every later arrival re-sifts it in place.
+	if a.timer == nil {
+		a.timer = a.eng.After(d, a.tick)
+	} else {
+		a.timer.RescheduleAfter(d)
+	}
+}
+
+func (a *Arrivals) tick() {
+	if a.stopped {
+		return
+	}
+	a.count++
+	a.fn()
+	a.schedule()
 }
 
 func (a *Arrivals) retire() {
@@ -91,8 +99,7 @@ func (a *Arrivals) retire() {
 	}
 	a.stopped = true
 	if a.onDone != nil {
-		done := a.onDone
-		a.eng.After(0, done)
+		a.eng.PostAfter(0, a.onDone)
 	}
 }
 

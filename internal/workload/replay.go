@@ -93,7 +93,7 @@ func Replay(eng *sim.Engine, dev device.Device, tr IOTrace) (Result, error) {
 	var lastDone time.Duration
 	for _, e := range tr.Events {
 		e := e
-		eng.Schedule(start+e.At, func() {
+		eng.Post(start+e.At, func() {
 			req := device.Request{Op: e.Op, Offset: e.Offset, Size: e.Size}
 			if req.Offset+req.Size > capacity {
 				req.Offset = req.Offset % (capacity - req.Size)

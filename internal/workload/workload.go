@@ -153,6 +153,8 @@ type Runner struct {
 	latencies    []time.Duration
 	arrivalsDone bool
 	done         bool
+	arriveT      *sim.Timer // reused open-loop arrival timer
+	freeDone     *ioDone    // free list of completion records, bounded by queue depth
 
 	// Telemetry. Nil-safe no-ops when the engine has none attached.
 	tr      *telemetry.Tracer
@@ -229,7 +231,11 @@ func (r *Runner) arrive() {
 	if d <= 0 {
 		d = time.Nanosecond
 	}
-	r.eng.After(d, r.arrive)
+	if r.arriveT == nil {
+		r.arriveT = r.eng.After(d, r.arrive)
+	} else {
+		r.arriveT.RescheduleAfter(d)
+	}
 }
 
 // Done reports whether all issued IO has completed and no more will be
@@ -253,6 +259,51 @@ func (r *Runner) canIssue() bool {
 	return true
 }
 
+// ioDone is one in-flight IO's completion record. Records are pooled on
+// the Runner (the pool never exceeds the queue depth) so a closed-loop
+// job at steady state submits every IO without allocating: the closure
+// handed to the device is built once per record and only its captured
+// fields change between reuses.
+type ioDone struct {
+	r         *Runner
+	submitted time.Duration
+	id        int64
+	fn        func()
+	next      *ioDone
+}
+
+func (d *ioDone) run() {
+	// Copy out and recycle first: a closed-loop re-issue below may pick
+	// this very record up for the replacement IO.
+	r, submitted, id := d.r, d.submitted, d.id
+	d.next = r.freeDone
+	r.freeDone = d
+	now := r.eng.Now()
+	r.latencies = append(r.latencies, now-submitted)
+	r.lastDone = now
+	r.inflight--
+	r.cDone.Inc()
+	r.gDepth.Set(int64(r.inflight))
+	r.hLatNs.Observe(int64(now - submitted))
+	if r.tr.Enabled() {
+		r.tr.AsyncEnd(r.lane, "io", r.job.Name(), id, now)
+	}
+	if r.job.Arrival != Closed {
+		// Open loop: arrivals are driven by the clock, not by
+		// completions; the runner finishes once arrivals have
+		// stopped and the queue drains.
+		if r.arrivalsDone && r.inflight == 0 {
+			r.done = true
+		}
+		return
+	}
+	if r.canIssue() {
+		r.issue()
+	} else if r.inflight == 0 {
+		r.done = true
+	}
+}
+
 func (r *Runner) issue() {
 	off := r.nextOffset()
 	req := device.Request{Op: r.job.Op, Offset: off, Size: r.job.BS}
@@ -265,32 +316,15 @@ func (r *Runner) issue() {
 	if r.tr.Enabled() {
 		r.tr.AsyncBegin(r.lane, "io", r.job.Name(), id, submitted)
 	}
-	r.dev.Submit(req, func() {
-		now := r.eng.Now()
-		r.latencies = append(r.latencies, now-submitted)
-		r.lastDone = now
-		r.inflight--
-		r.cDone.Inc()
-		r.gDepth.Set(int64(r.inflight))
-		r.hLatNs.Observe(int64(now - submitted))
-		if r.tr.Enabled() {
-			r.tr.AsyncEnd(r.lane, "io", r.job.Name(), id, now)
-		}
-		if r.job.Arrival != Closed {
-			// Open loop: arrivals are driven by the clock, not by
-			// completions; the runner finishes once arrivals have
-			// stopped and the queue drains.
-			if r.arrivalsDone && r.inflight == 0 {
-				r.done = true
-			}
-			return
-		}
-		if r.canIssue() {
-			r.issue()
-		} else if r.inflight == 0 {
-			r.done = true
-		}
-	})
+	d := r.freeDone
+	if d == nil {
+		d = &ioDone{r: r}
+		d.fn = d.run
+	} else {
+		r.freeDone = d.next
+	}
+	d.submitted, d.id = submitted, id
+	r.dev.Submit(req, d.fn)
 }
 
 func (r *Runner) nextOffset() int64 {

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Run the kernel microbenchmarks — event scheduling, chain dispatch, rig
+# sampling, and the fleet serving macro-benchmark — and emit their
+# metrics as JSON.
+#
+#   scripts/bench_kernel.sh [out.json]
+#
+# Each `go test -bench` result line becomes one JSON object holding
+# ns/op, B/op, allocs/op, and every b.ReportMetric unit. The output is
+# the perf trajectory artifact: CI uploads one BENCH_kernel.json per
+# run, so regressions in the event kernel show up as a step in the
+# series. The raw benchmark log is kept next to it for debugging.
+set -eu
+
+out=${1:-BENCH_kernel.json}
+log=${out%.json}.log
+
+cd "$(dirname "$0")/.."
+
+{
+	go test -run '^$' -bench '^(BenchmarkEngineSchedule|BenchmarkEngineChain)$' \
+		-benchtime 2000000x -benchmem -count 1 ./internal/sim
+	go test -run '^$' -bench '^BenchmarkRigSample$' \
+		-benchtime 200000x -benchmem -count 1 ./internal/measure
+	go test -run '^$' -bench '^BenchmarkEngineEventThroughput$' \
+		-benchtime 500000x -benchmem -count 1 .
+	# One iteration of BenchmarkFleetServe is a full fleet simulation;
+	# -benchtime 1x keeps CI cost bounded (same convention as bench_fleet.sh).
+	go test -run '^$' -bench '^BenchmarkFleetServe$' \
+		-benchtime 1x -benchmem -count 1 .
+} | tee "$log"
+
+awk -v out="$out" '
+/^Benchmark/ {
+    if (found) printf ",\n" > out
+    else printf "[\n" > out
+    printf "  {\n    \"benchmark\": \"%s\",\n    \"iterations\": %s", $1, $2 > out
+    # Fields from 3 on are value/unit pairs, e.g. `123 ns/op 0 allocs/op`.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        printf ",\n    \"%s\": %s", unit, $i > out
+    }
+    printf "\n  }" > out
+    found++
+}
+END {
+    if (!found) {
+        print "bench_kernel.sh: no benchmark results in output" > "/dev/stderr"
+        exit 1
+    }
+    printf "\n]\n" > out
+}
+' "$log"
+
+echo "wrote $out:"
+cat "$out"
