@@ -3,11 +3,19 @@
 // paper reports, at either the published scale (-scale paper: one
 // minute or 4 GiB per point) or a fast scale for smoke runs.
 //
+// Every run is driven by a declarative scenario spec (internal/scenario):
+// -scenario loads one from a JSON file, otherwise the experiment's
+// built-in default spec is used. The classic flags (-exp, -scale, -seed,
+// -fleet, -budget, ...) are overrides layered on top of the spec — an
+// explicitly-set flag beats the spec, an unset flag leaves it alone.
+//
 // Usage:
 //
 //	powerbench -list
 //	powerbench -exp fig4
 //	powerbench -exp all -scale paper -out results.txt
+//	powerbench -scenario scenarios/paper-default.json
+//	powerbench -scenario scenarios/stepped-budget.json -fleet 128
 //	powerbench -exp fig2 -trace trace.json -metrics
 //	powerbench -exp chaos -faultseed 7 -metrics
 //	powerbench -exp fleet -fleet 1000 -budget "0s:14.6pd,1s:10.5pd" -fleetfaults 0.1
@@ -30,52 +38,90 @@ import (
 	"time"
 
 	"wattio/internal/experiments"
+	"wattio/internal/scenario"
 	"wattio/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind a testable seam: it parses argv, layers
+// explicitly-set flags over the scenario spec, runs the selected
+// experiments, and returns the process exit code (0 ok, 1 run failure,
+// 2 usage/spec error).
+func run(argv []string, stdout, errw io.Writer) int {
+	fs := flag.NewFlagSet("powerbench", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		expID   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		scale   = flag.String("scale", "quick", "experiment scale: quick or paper")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		out     = flag.String("out", "", "also write results to this file")
-		csvDir  = flag.String("csvdir", "", "export figure data as CSV files into this directory")
-		seed    = flag.Uint64("seed", 42, "root random seed")
-		fseed   = flag.Uint64("faultseed", 1, "fault-injection random seed (chaos experiment)")
-		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) of the run to this file")
-		metrics = flag.Bool("metrics", false, "print a telemetry metrics snapshot after the run")
+		expID    = fs.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scenFile = fs.String("scenario", "", "load a scenario spec file (JSON); other flags become overrides on top of it")
+		scale    = fs.String("scale", "quick", "experiment scale: quick or paper")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		out      = fs.String("out", "", "also write results to this file")
+		csvDir   = fs.String("csvdir", "", "export figure data as CSV files into this directory")
+		seed     = fs.Uint64("seed", 42, "root random seed")
+		fseed    = fs.Uint64("faultseed", 1, "fault-injection random seed (chaos experiment)")
+		traceF   = fs.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) of the run to this file")
+		metrics  = fs.Bool("metrics", false, "print a telemetry metrics snapshot after the run")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
-		benchOut   = flag.String("benchout", "", "write per-experiment wall-clock timings as JSON to this file")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+		benchOut   = fs.String("benchout", "", "write per-experiment wall-clock timings as JSON to this file")
 
-		fleetSize   = flag.Int("fleet", 0, "fleet experiment: device count (0 = default)")
-		fleetRepl   = flag.Int("replicas", 0, "fleet experiment: replicas per mirror group (0 = default)")
-		fleetRate   = flag.Float64("rate", 0, "fleet experiment: arrival rate in IOPS per active device (0 = default)")
-		fleetBudget = flag.String("budget", "", "fleet experiment: budget schedule, e.g. \"0s:640,1s:448\" (\"pd\" suffix = per device)")
-		fleetFaults = flag.Float64("fleetfaults", 0, "fleet experiment: fraction of devices given an injected fault window")
+		fleetSize   = fs.Int("fleet", 0, "fleet experiment: device count (0 = scenario/default)")
+		fleetRepl   = fs.Int("replicas", 0, "fleet experiment: replicas per mirror group (0 = scenario/default)")
+		fleetRate   = fs.Float64("rate", 0, "fleet experiment: arrival rate in IOPS per active device (0 = scenario/default)")
+		fleetBudget = fs.String("budget", "", "fleet experiment: budget schedule, e.g. \"0s:640,1s:448\" (\"pd\" suffix = per device)")
+		fleetFaults = fs.Float64("fleetfaults", 0, "fleet experiment: fraction of devices given an injected fault window")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-9s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	var s experiments.Scale
-	switch *scale {
-	case "quick":
-		s = experiments.Quick
-	case "paper":
-		s = experiments.Paper
-	default:
-		fmt.Fprintf(os.Stderr, "powerbench: unknown scale %q (quick or paper)\n", *scale)
-		os.Exit(2)
+	// Flags are overrides, the spec is the base layer: only flags the
+	// user explicitly set on the command line beat the scenario.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var sp *scenario.Spec
+	if *scenFile != "" {
+		var err error
+		sp, err = scenario.LoadFile(*scenFile)
+		if err != nil {
+			fmt.Fprintf(errw, "powerbench: %v\n", err)
+			return 2
+		}
+	} else {
+		sp = scenario.Default(*expID)
 	}
-	s.Seed = *seed
-	s.FaultSeed = *fseed
+	if set["exp"] {
+		sp.Experiment = *expID
+	}
+	if set["scale"] {
+		sp.Scale = *scale
+	}
+	if set["seed"] {
+		sp.Seed = *seed
+	}
+	if set["faultseed"] {
+		sp.FaultSeed = *fseed
+	}
+	if err := sp.Validate(); err != nil {
+		fmt.Fprintf(errw, "powerbench: %v\n", err)
+		return 2
+	}
+
+	s := experiments.ScaleFor(sp)
+	// The fleet flags ride along as a second override layer; zero values
+	// mean "take the scenario's (or the experiment's default) value".
 	s.Fleet = experiments.FleetOptions{
 		Size:      *fleetSize,
 		Replicas:  *fleetRepl,
@@ -84,15 +130,27 @@ func main() {
 		FaultFrac: *fleetFaults,
 	}
 
-	var w io.Writer = os.Stdout
+	var todo []experiments.Experiment
+	if sp.Experiment == "all" {
+		todo = experiments.All()
+	} else {
+		e, ok := experiments.ByID(sp.Experiment)
+		if !ok {
+			fmt.Fprintf(errw, "powerbench: unknown experiment %q; try -list\n", sp.Experiment)
+			return 2
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "powerbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "powerbench: %v\n", err)
+			return 1
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		w = io.MultiWriter(stdout, f)
 	}
 
 	// Telemetry rides on process-wide defaults: experiments build their
@@ -110,8 +168,8 @@ func main() {
 		// not after minutes of simulation.
 		f, err := os.Create(*traceF)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "powerbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "powerbench: %v\n", err)
+			return 1
 		}
 		traceFile = f
 		tracer = telemetry.NewTracer(telemetry.DefaultTraceEventCap)
@@ -123,74 +181,25 @@ func main() {
 	// cmps it), while profiles and wall-clock timings are inherently
 	// host-dependent. The CPU profile covers the experiment loop and is
 	// finalized after it; the heap profile is snapshotted after the run.
+	var cpuFile *os.File
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "powerbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "powerbench: %v\n", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "powerbench: %v\n", err)
-			os.Exit(1)
+			f.Close()
+			fmt.Fprintf(errw, "powerbench: %v\n", err)
+			return 1
 		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "powerbench: writing cpu profile: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stdout, "wrote %s\n", *cpuProfile)
-		}()
-	}
-	if *memProfile != "" {
-		path := *memProfile
-		defer func() {
-			f, err := os.Create(path)
-			if err == nil {
-				runtime.GC() // settle allocations so the heap profile reflects live data
-				err = pprof.WriteHeapProfile(f)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "powerbench: writing heap profile: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stdout, "wrote %s\n", path)
-		}()
+		cpuFile = f
 	}
 	type benchEntry struct {
 		ID     string  `json:"id"`
 		WallMS float64 `json:"wall_ms"`
 	}
 	var benchLog []benchEntry
-	if *benchOut != "" {
-		path := *benchOut
-		defer func() {
-			data, err := json.MarshalIndent(benchLog, "", "  ")
-			if err == nil {
-				err = os.WriteFile(path, append(data, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "powerbench: writing bench timings: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stdout, "wrote %s\n", path)
-		}()
-	}
-
-	var todo []experiments.Experiment
-	if *expID == "all" {
-		todo = experiments.All()
-	} else {
-		e, ok := experiments.ByID(*expID)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "powerbench: unknown experiment %q; try -list\n", *expID)
-			os.Exit(2)
-		}
-		todo = []experiments.Experiment{e}
-	}
 
 	for _, e := range todo {
 		start := time.Now()
@@ -205,12 +214,16 @@ func main() {
 			for _, f := range files {
 				fmt.Fprintf(w, "wrote %s\n", f)
 			}
-			fmt.Fprintf(os.Stdout, "[%s exported in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "[%s exported in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
 			continue
 		}
 		if err := e.Run(s, w); err != nil {
-			fmt.Fprintf(os.Stderr, "powerbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			fmt.Fprintf(errw, "powerbench: %s: %v\n", e.ID, err)
+			return 1
 		}
 		// Wall-clock timing is the one nondeterministic line; it goes to
 		// the terminal only so a -out file stays bit-identical across
@@ -219,7 +232,7 @@ func main() {
 		if *benchOut != "" {
 			benchLog = append(benchLog, benchEntry{ID: e.ID, WallMS: float64(elapsed.Microseconds()) / 1000})
 		}
-		fmt.Fprintf(os.Stdout, "[%s done in %v]\n", e.ID, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(stdout, "[%s done in %v]\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 
 	if tracer != nil {
@@ -228,8 +241,8 @@ func main() {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "powerbench: writing trace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "powerbench: writing trace: %v\n", err)
+			return 1
 		}
 		fmt.Fprintf(w, "wrote %s (%d events", *traceF, tracer.Len())
 		if d := tracer.Dropped(); d > 0 {
@@ -240,8 +253,43 @@ func main() {
 	if reg != nil {
 		fmt.Fprintln(w, "\n# telemetry snapshot")
 		if err := reg.Snapshot().WriteText(w); err != nil {
-			fmt.Fprintf(os.Stderr, "powerbench: writing metrics: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "powerbench: writing metrics: %v\n", err)
+			return 1
 		}
 	}
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(benchLog, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(errw, "powerbench: writing bench timings: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *benchOut)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err == nil {
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(errw, "powerbench: writing heap profile: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *memProfile)
+	}
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			fmt.Fprintf(errw, "powerbench: writing cpu profile: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *cpuProfile)
+	}
+	return 0
 }

@@ -10,9 +10,12 @@
 //	powerfleet plan -budget 20 ssd1.json ssd2.json
 //	powerfleet curtail -reduce 0.2 -chunk 256k -depth 64 ssd1.json
 //	powerfleet slo -budget 12 -p99 5ms ssd2.json
+//	powerfleet scenario scenarios/*.json
+//	powerfleet scenario -w scenarios/fleet.json
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +26,7 @@ import (
 	"wattio/internal/catalog"
 	"wattio/internal/core"
 	"wattio/internal/device"
+	"wattio/internal/scenario"
 	"wattio/internal/sweep"
 	"wattio/internal/workload"
 )
@@ -40,11 +44,12 @@ func run(argv []string, out, errw io.Writer) int {
 		return 2
 	}
 	cmds := map[string]func([]string, io.Writer) error{
-		"build":   build,
-		"info":    info,
-		"plan":    plan,
-		"curtail": curtail,
-		"slo":     slo,
+		"build":    build,
+		"info":     info,
+		"plan":     plan,
+		"curtail":  curtail,
+		"slo":      slo,
+		"scenario": scenarioCmd,
 	}
 	cmd, ok := cmds[argv[0]]
 	if !ok {
@@ -67,7 +72,8 @@ func usage(w io.Writer) {
   powerfleet info <model.json>...
   powerfleet plan -budget <watts> <model.json>...
   powerfleet curtail -reduce <frac> -chunk <bytes> -depth <n> <model.json>
-  powerfleet slo [-budget W] [-p99 dur] [-avg dur] [-minmbps N] <model.json>`)
+  powerfleet slo [-budget W] [-p99 dur] [-avg dur] [-minmbps N] <model.json>
+  powerfleet scenario [-w] <spec.json>...`)
 }
 
 // newFlagSet builds a subcommand flag set that reports parse errors as
@@ -234,6 +240,53 @@ func curtail(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "to   %v: %.2f W, %.0f MB/s\n", planned.To.Config, planned.To.PowerW, planned.To.ThroughputMBps)
 	fmt.Fprintf(out, "sheds %.2f W (%.0f%%); curtail %.0f MB/s of best-effort load (keep %.0f%% throughput)\n",
 		planned.PowerSavedW, 100*planned.PowerReduction, planned.CurtailMBps, 100*planned.ThroughputKept)
+	return nil
+}
+
+// scenarioCmd validates scenario spec files — strict parse, semantic
+// checks, and the canonical-encoding contract that lets specs serve as
+// golden inputs. -w rewrites non-canonical (but valid) files in place;
+// without it, drifted files are an error so CI can gate on them.
+func scenarioCmd(args []string, out io.Writer) error {
+	fs := newFlagSet("scenario")
+	write := fs.Bool("w", false, "rewrite valid but non-canonical spec files in place")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("need at least one scenario file")
+	}
+	var stale []string
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		sp, err := scenario.Parse(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		canon, err := sp.Canonical()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if bytes.Equal(raw, canon) {
+			fmt.Fprintf(out, "%s: ok (%s, experiment %s)\n", p, sp.Name, sp.Experiment)
+			continue
+		}
+		if *write {
+			if err := os.WriteFile(p, canon, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s: rewrote in canonical form\n", p)
+			continue
+		}
+		stale = append(stale, p)
+	}
+	if len(stale) > 0 {
+		return fmt.Errorf("valid but not canonical (rerun with scenario -w to rewrite): %s", strings.Join(stale, ", "))
+	}
 	return nil
 }
 

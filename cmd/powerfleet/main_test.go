@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wattio/internal/core"
+	"wattio/internal/scenario"
 )
 
 // writeModel saves a small two-state model for dev into dir and returns
@@ -168,6 +169,63 @@ func TestBadModelFiles(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestScenarioSubcommand covers the spec-file gate: canonical files
+// pass, drifted-but-valid files fail without -w and are rewritten with
+// it, and invalid specs fail with the offending path.
+func TestScenarioSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	canon, err := scenario.BuiltIn("fleet").Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(good, canon, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCLI("scenario", good)
+	if code != 0 {
+		t.Fatalf("canonical spec rejected: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "ok (fleet, experiment fleet)") {
+		t.Errorf("scenario output:\n%s", out)
+	}
+
+	// Semantically identical but re-ordered/re-indented: valid, not
+	// canonical.
+	drifted := filepath.Join(dir, "drifted.json")
+	if err := os.WriteFile(drifted, append([]byte("\n"), canon...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCLI("scenario", drifted); code == 0 || !strings.Contains(stderr, "not canonical") {
+		t.Fatalf("drifted spec passed: exit %d, stderr: %s", code, stderr)
+	}
+	if code, _, stderr := runCLI("scenario", "-w", drifted); code != 0 {
+		t.Fatalf("scenario -w failed: %s", stderr)
+	}
+	got, err := os.ReadFile(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(canon) {
+		t.Fatalf("-w did not rewrite canonically:\n%s", got)
+	}
+	if code, _, stderr := runCLI("scenario", drifted); code != 0 {
+		t.Fatalf("rewritten spec still rejected: %s", stderr)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"name":"x","experiment":"fleet","seed":1,"fleet":{"size":-4}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCLI("scenario", bad); code == 0 || !strings.Contains(stderr, "fleet.size") {
+		t.Fatalf("invalid spec not rejected by path: exit %d, stderr: %s", code, stderr)
+	}
+
+	if code, _, stderr := runCLI("scenario"); code == 0 || !strings.Contains(stderr, "at least one") {
+		t.Fatalf("bare scenario subcommand: exit %d, stderr: %s", code, stderr)
 	}
 }
 

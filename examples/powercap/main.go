@@ -4,9 +4,14 @@
 // with adaptive.AsymmetricPlacer — segregate writes onto one uncapped
 // device and cap the read-serving devices, cutting ensemble power with
 // little QoS impact.
+//
+// The device and workload shape come from a scenario spec
+// (scenarios/powercap.json by default); run from the repo root, or
+// point -scenario at the file.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -16,15 +21,20 @@ import (
 	"wattio/internal/device"
 	"wattio/internal/measure"
 	"wattio/internal/nvme"
+	"wattio/internal/scenario"
 	"wattio/internal/sim"
 	"wattio/internal/sweep"
 	"wattio/internal/workload"
 )
 
-func runOne(op device.Op, ps int) (bw, pw float64) {
+func runOne(sp *scenario.Spec, op device.Op, ps int) (bw, pw float64) {
 	eng := sim.NewEngine()
-	rng := sim.NewRNG(7)
-	dev := catalog.NewSSD2(eng, rng)
+	rng := sim.NewRNG(sp.Seed)
+	built, err := sp.BuildDevices(eng, rng, sim.NewRNG(sp.FaultSeed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := built[0].Dev
 	// Drive the power state through the NVMe admin surface, exactly as
 	// nvme-cli would.
 	ctrl, err := nvme.NewController(dev)
@@ -34,26 +44,38 @@ func runOne(op device.Op, ps int) (bw, pw float64) {
 	if err := ctrl.SetPowerState(ps); err != nil {
 		log.Fatal(err)
 	}
-	rig, err := measure.NewRig(eng, rng, dev, measure.DefaultRigConfig(sweep.RailFor(dev)))
+	rig, err := measure.NewRig(eng, rng.Stream("rig"), dev, measure.DefaultRigConfig(sweep.RailFor(dev)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	rig.Start()
-	res := workload.Run(eng, dev, workload.Job{
-		Op: op, Pattern: workload.Seq, BS: 256 << 10, Depth: 64,
-		Runtime: 10 * time.Second, TotalBytes: 2 << 30,
-	}, rng)
+	job, err := sp.Workload.Job(10*time.Second, 2<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job.Op = op // part 1 walks both ops over the spec's workload shape
+	res := workload.Run(eng, dev, job, rng.Stream("workload"))
 	rig.Stop()
 	return res.BandwidthMBps, rig.Trace().Mean()
 }
 
 func main() {
+	specPath := flag.String("scenario", "scenarios/powercap.json", "scenario spec describing the device and workload")
+	flag.Parse()
+	sp, err := scenario.LoadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(sp.Devices) == 0 || sp.Workload == nil {
+		log.Fatalf("%s: powercap needs a scenario with a device and a workload", *specPath)
+	}
+
 	fmt.Println("Part 1: power capping hits writes, not reads (Fig. 4)")
 	fmt.Printf("%-4s %-22s %-22s\n", "ps", "seq write", "seq read")
 	var w0, r0 float64
 	for ps := 0; ps < 3; ps++ {
-		wb, wp := runOne(device.OpWrite, ps)
-		rb, rp := runOne(device.OpRead, ps)
+		wb, wp := runOne(sp, device.OpWrite, ps)
+		rb, rp := runOne(sp, device.OpRead, ps)
 		if ps == 0 {
 			w0, r0 = wb, rb
 		}
@@ -63,9 +85,17 @@ func main() {
 
 	fmt.Println("\nPart 2: asymmetric IO — one uncapped writer, two capped readers")
 	eng := sim.NewEngine()
-	rng := sim.NewRNG(7)
-	writer := catalog.NewSSD2(eng, rng.Stream("w"))
-	readers := []device.Device{catalog.NewSSD2(eng, rng.Stream("r1")), catalog.NewSSD2(eng, rng.Stream("r2"))}
+	rng := sim.NewRNG(sp.Seed)
+	profile := sp.Devices[0].Profile
+	newDev := func(name string) device.Device {
+		d, ok := catalog.NewNamed(profile, name, eng, rng.Stream(name))
+		if !ok {
+			log.Fatalf("unknown profile %q", profile)
+		}
+		return d
+	}
+	writer := newDev("w")
+	readers := []device.Device{newDev("r1"), newDev("r2")}
 	placer, err := adaptive.NewAsymmetricPlacer([]device.Device{writer}, readers, 2)
 	if err != nil {
 		log.Fatal(err)

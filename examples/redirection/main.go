@@ -3,27 +3,43 @@
 // resizes the active replica set each period so standby replicas
 // accumulate slumber time when load is low, and measures what the
 // ensemble draw would have been without redirection.
+//
+// The replica set comes from a scenario spec
+// (scenarios/redirection.json by default); run from the repo root, or
+// point -scenario at the file.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"wattio/internal/adaptive"
-	"wattio/internal/catalog"
 	"wattio/internal/device"
+	"wattio/internal/scenario"
 	"wattio/internal/sim"
 )
 
 func main() {
-	eng := sim.NewEngine()
-	rng := sim.NewRNG(11)
-	devs := make([]device.Device, 4)
-	for i := range devs {
-		devs[i] = catalog.NewEVO(eng, rng.Stream(fmt.Sprint("replica", i)))
+	specPath := flag.String("scenario", "scenarios/redirection.json", "scenario spec describing the replica set")
+	flag.Parse()
+	sp, err := scenario.LoadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
 	}
-	mirror, err := adaptive.NewRedirector("mirror", devs, 4)
+
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(sp.Seed)
+	built, err := sp.BuildDevices(eng, rng, sim.NewRNG(sp.FaultSeed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	devs := make([]device.Device, len(built))
+	for i, b := range built {
+		devs[i] = b.Dev
+	}
+	mirror, err := adaptive.NewRedirector("mirror", devs, len(devs))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,12 +76,12 @@ func main() {
 		tick()
 		eng.RunUntil(phaseEnd)
 		avgW := (mirror.EnergyJ() - e0) / (eng.Now() - t0).Seconds()
-		// Baseline: all four awake at idle-or-better draw 0.35 W plus
+		// Baseline: all replicas awake at idle-or-better draw 0.35 W plus
 		// the same active work spread across them.
-		baseline := avgW + float64(4-ph.active)*(0.35-0.17)
+		baseline := avgW + float64(len(devs)-ph.active)*(0.35-0.17)
 		totalSaved += baseline - avgW
 		fmt.Printf("%-7d %-6d %-7d %-9.3f %-10.3f %.3f W\n", pi, ph.iops, ph.active, avgW, baseline, baseline-avgW)
 	}
 	fmt.Printf("\nwake-on-demand events (QoS risk): %d\n", mirror.WakesOnDemand)
-	fmt.Printf("average saving across the day: %.3f W per rack unit of 4 replicas\n", totalSaved/float64(len(phases)))
+	fmt.Printf("average saving across the day: %.3f W per rack unit of %d replicas\n", totalSaved/float64(len(phases)), len(devs))
 }

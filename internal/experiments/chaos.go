@@ -10,6 +10,7 @@ import (
 	"wattio/internal/core"
 	"wattio/internal/device"
 	"wattio/internal/fault"
+	"wattio/internal/scenario"
 	"wattio/internal/sim"
 	"wattio/internal/telemetry/invariant"
 	"wattio/internal/workload"
@@ -73,6 +74,17 @@ type ChaosReport struct {
 	RolloutLeafAvgW    map[string]float64
 }
 
+// chaosParams resolves the chaos parameters for a run: the attached
+// scenario's chaos section (when one is attached) with the published
+// defaults filled into unset fields.
+func chaosParams(s Scale) scenario.ChaosSpec {
+	var c *scenario.ChaosSpec
+	if s.Scenario != nil {
+		c = s.Scenario.Chaos
+	}
+	return c.WithDefaults()
+}
+
 // chaosDur bounds one chaos phase: at least 2 s of virtual time so
 // fault windows and recovery both get room, at most 6 s so paper scale
 // does not pay a minute per phase for no extra information.
@@ -87,27 +99,30 @@ func chaosDur(s Scale) time.Duration {
 	return d
 }
 
-// Chaos runs all four phases and returns the measured report.
+// Chaos runs all four phases and returns the measured report. The
+// phase parameters come from the Scale's scenario (or the published
+// defaults); only the window placements stay runtime-derived.
 func Chaos(s Scale) (*ChaosReport, error) {
+	cs := chaosParams(s)
 	r := &ChaosReport{}
-	if err := chaosGovernor(s, r); err != nil {
+	if err := chaosGovernor(s, cs, r); err != nil {
 		return nil, fmt.Errorf("chaos governor phase: %w", err)
 	}
-	if err := chaosRedirector(s, r); err != nil {
+	if err := chaosRedirector(s, cs, r); err != nil {
 		return nil, fmt.Errorf("chaos redirector phase: %w", err)
 	}
-	if err := chaosBudget(s, r); err != nil {
+	if err := chaosBudget(s, cs, r); err != nil {
 		return nil, fmt.Errorf("chaos budget phase: %w", err)
 	}
-	if err := chaosRollout(s, r); err != nil {
+	if err := chaosRollout(s, cs, r); err != nil {
 		return nil, fmt.Errorf("chaos rollout phase: %w", err)
 	}
 	return r, nil
 }
 
-// chaosGovernor: saturating writes on SSD2 under an 11 W budget while
-// SetPowerState fails for the first half of the run.
-func chaosGovernor(s Scale, r *ChaosReport) error {
+// chaosGovernor: saturating writes on SSD2 under the scenario's device
+// budget while SetPowerState fails for the first half of the run.
+func chaosGovernor(s Scale, cs scenario.ChaosSpec, r *ChaosReport) error {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(s.Seed)
 	frng := sim.NewRNG(s.FaultSeed)
@@ -124,13 +139,13 @@ func chaosGovernor(s Scale, r *ChaosReport) error {
 	fd, err := fault.New(dev, eng, frng.Stream("ssd2"), fault.Profile{
 		Windows: []fault.Window{
 			{Kind: fault.PowerCmdFail, Start: 0, Dur: r.GovFaultEnd},
-			{Kind: fault.IOError, Start: dur / 4, Dur: dur / 8, Prob: 0.2},
+			{Kind: fault.IOError, Start: dur / 4, Dur: dur / 8, Prob: cs.IOErrorProb},
 		},
 	})
 	if err != nil {
 		return err
 	}
-	g, err := adaptive.NewGovernor(eng, fd, 11, 50*time.Millisecond)
+	g, err := adaptive.NewGovernor(eng, fd, cs.GovBudgetW, cs.GovControl.D())
 	if err != nil {
 		return err
 	}
@@ -162,7 +177,7 @@ func chaosGovernor(s Scale, r *ChaosReport) error {
 	// what the probe must certify.
 	var capProbe *invariant.CapProbe
 	eng.Post(3*dur/4, func() {
-		capProbe = invariant.AttachCap(eng, fd, 11, dur/8, 5*time.Millisecond)
+		capProbe = invariant.AttachCap(eng, fd, cs.GovBudgetW, dur/8, 5*time.Millisecond)
 	})
 
 	g.Start()
@@ -196,9 +211,9 @@ func chaosGovernor(s Scale, r *ChaosReport) error {
 	return nil
 }
 
-// chaosRedirector: three mirrored EVOs, two active, open-loop reads;
-// replica 0 drops out for the second quarter of the run.
-func chaosRedirector(s Scale, r *ChaosReport) error {
+// chaosRedirector: mirrored EVOs (scenario replicas/active), open-loop
+// reads; replica 0 drops out for the second quarter of the run.
+func chaosRedirector(s Scale, cs scenario.ChaosSpec, r *ChaosReport) error {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(s.Seed)
 	frng := sim.NewRNG(s.FaultSeed)
@@ -209,7 +224,7 @@ func chaosRedirector(s Scale, r *ChaosReport) error {
 	const settle = time.Second
 	r.RedirDropStart, r.RedirDropEnd = dur/4, dur/2
 
-	const replicas = 3
+	replicas := cs.Replicas
 	devs := make([]device.Device, replicas)
 	for i := range devs {
 		d := catalog.NewEVO(eng, rng.Stream(fmt.Sprint("replica", i)))
@@ -225,7 +240,7 @@ func chaosRedirector(s Scale, r *ChaosReport) error {
 			devs[i] = d
 		}
 	}
-	mirror, err := adaptive.NewRedirector("mirror", devs, 2)
+	mirror, err := adaptive.NewRedirector("mirror", devs, cs.Active)
 	if err != nil {
 		return err
 	}
@@ -237,7 +252,7 @@ func chaosRedirector(s Scale, r *ChaosReport) error {
 
 	workload.Run(eng, mirror, workload.Job{
 		Op: device.OpRead, Pattern: workload.Rand, BS: 4 << 10,
-		Arrival: workload.OpenPoisson, RateIOPS: 3000, Runtime: dur,
+		Arrival: workload.OpenPoisson, RateIOPS: cs.RateIOPS, Runtime: dur,
 	}, rng)
 
 	final := mirror.CompletedByReplica()
@@ -285,7 +300,7 @@ func chaosModels() (*core.Fleet, error) {
 
 // chaosBudget: SSD2 refuses every power command; Apply must reserve
 // its ps0 worst case and tighten SSD1 instead.
-func chaosBudget(s Scale, r *ChaosReport) error {
+func chaosBudget(s Scale, cs scenario.ChaosSpec, r *ChaosReport) error {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(s.Seed)
 	frng := sim.NewRNG(s.FaultSeed)
@@ -307,7 +322,7 @@ func chaosBudget(s Scale, r *ChaosReport) error {
 		return err
 	}
 
-	r.BudgetW = 22
+	r.BudgetW = cs.FleetBudgetW
 	a, err := bc.Apply(r.BudgetW)
 	if err != nil {
 		return err
@@ -319,9 +334,10 @@ func chaosBudget(s Scale, r *ChaosReport) error {
 	return nil
 }
 
-// chaosRollout: six leaves across two racks, four staged; one staged
-// leaf cannot apply its cap, fails the power audit, and is quarantined.
-func chaosRollout(s Scale, r *ChaosReport) error {
+// chaosRollout: a scenario-shaped leaf grid with a staged subset; one
+// staged leaf cannot apply its cap, fails the power audit, and is
+// quarantined.
+func chaosRollout(s Scale, cs scenario.ChaosSpec, r *ChaosReport) error {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(s.Seed)
 	frng := sim.NewRNG(s.FaultSeed)
@@ -331,7 +347,7 @@ func chaosRollout(s Scale, r *ChaosReport) error {
 		wdur = time.Second
 	}
 
-	const racks, leavesPerRack = 2, 3
+	racks, leavesPerRack := cs.Racks, cs.LeavesPerRack
 	root := &adaptive.Domain{Name: "row"}
 	leafDev := map[*adaptive.Domain]device.Device{}
 	for ri := 0; ri < racks; ri++ {
@@ -356,12 +372,12 @@ func chaosRollout(s Scale, r *ChaosReport) error {
 	}
 
 	rollout := adaptive.NewRollout(root)
-	staged := rollout.Stage(4)
+	staged := rollout.Stage(cs.Staged)
 	for _, leaf := range staged {
 		r.RolloutStaged = append(r.RolloutStaged, leaf.Name)
 		// Enablement applies the deepest cap; the faulted leaf refuses
 		// and keeps drawing full power — exactly what the audit hunts.
-		leafDev[leaf].SetPowerState(2)
+		leafDev[leaf].SetPowerState(cs.CapState)
 	}
 
 	e0 := map[*adaptive.Domain]float64{}
@@ -381,11 +397,11 @@ func chaosRollout(s Scale, r *ChaosReport) error {
 		return avg
 	}
 	// SSD2 at ps2 sustains ~10.5 W under saturating writes; at ps0 it
-	// draws ~14.8 W. 12 W splits the two cleanly.
-	for _, d := range rollout.AuditAndQuarantine(measure, 12) {
+	// draws ~14.8 W. The default 12 W threshold splits the two cleanly.
+	for _, d := range rollout.AuditAndQuarantine(measure, cs.AuditThresholdW) {
 		r.RolloutQuarantined = append(r.RolloutQuarantined, d.Name)
 	}
-	for _, d := range rollout.Stage(2) {
+	for _, d := range rollout.Stage(cs.Restaged) {
 		r.RolloutRestaged = append(r.RolloutRestaged, d.Name)
 	}
 	return nil
@@ -393,13 +409,14 @@ func chaosRollout(s Scale, r *ChaosReport) error {
 
 func init() {
 	register("chaos", "Extension: fault injection for the power-control plane (§4.1 local control failures)", func(s Scale, w io.Writer) error {
+		cs := chaosParams(s)
 		r, err := Chaos(s)
 		if err != nil {
 			return err
 		}
 		section(w, "Extension: chaos — adaptive control under injected faults")
 
-		fmt.Fprintf(w, "governor (SSD2, 11 W budget, SetPowerState refused for [0, %v)):\n", r.GovFaultEnd)
+		fmt.Fprintf(w, "governor (SSD2, %g W budget, SetPowerState refused for [0, %v)):\n", cs.GovBudgetW, r.GovFaultEnd)
 		fmt.Fprintf(w, "  cmd failures %d, retries %d, applied steps %d, final state ps%d\n",
 			r.GovFailures, r.GovRetries, r.GovSteps, r.GovFinalState)
 		fmt.Fprintf(w, "  transient IO-error retries (fault seed draws): %d\n", r.GovIORetries)
@@ -407,7 +424,7 @@ func init() {
 		fmt.Fprintf(w, "  post-recovery worst sliding-window power: %.2f W (cap ok: %v, energy conserved: %v)\n",
 			r.GovWorstWindowW, r.GovCapOK, r.GovEnergyOK)
 
-		fmt.Fprintf(w, "redirector (3 mirrored EVOs, replica 0 drops for [%v, %v)):\n", r.RedirDropStart, r.RedirDropEnd)
+		fmt.Fprintf(w, "redirector (%d mirrored EVOs, replica 0 drops for [%v, %v)):\n", cs.Replicas, r.RedirDropStart, r.RedirDropEnd)
 		fmt.Fprintf(w, "  failovers %d, wakes-on-demand %d\n", r.RedirFailovers, r.RedirWakesOnDemand)
 		fmt.Fprintf(w, "  per-replica IOs  before drop: %v  during drop: %v  after recovery: %v\n",
 			r.RedirBefore, r.RedirDuring, r.RedirAfter)
@@ -418,12 +435,13 @@ func init() {
 		fmt.Fprintf(w, "  final plan: %.2f W total, %.0f MB/s total\n",
 			r.BudgetAssignment.TotalPowerW, r.BudgetAssignment.TotalMBps)
 
-		fmt.Fprintf(w, "rollout (6 leaves / 2 racks, 4 staged, rack0/leaf0 cannot apply its cap):\n")
+		fmt.Fprintf(w, "rollout (%d leaves / %d racks, %d staged, rack0/leaf0 cannot apply its cap):\n",
+			cs.Racks*cs.LeavesPerRack, cs.Racks, cs.Staged)
 		fmt.Fprintf(w, "  staged %v\n", r.RolloutStaged)
 		for _, name := range r.RolloutStaged {
 			fmt.Fprintf(w, "    %-14s %.2f W avg\n", name, r.RolloutLeafAvgW[name])
 		}
-		fmt.Fprintf(w, "  quarantined after audit (>12 W): %v\n", r.RolloutQuarantined)
+		fmt.Fprintf(w, "  quarantined after audit (>%g W): %v\n", cs.AuditThresholdW, r.RolloutQuarantined)
 		fmt.Fprintf(w, "  next stage skips quarantine: %v\n", r.RolloutRestaged)
 
 		fmt.Fprintln(w, "\n§4.1 reading: every local control failure is caught by a feedback layer —")

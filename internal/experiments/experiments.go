@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"wattio/internal/scenario"
 )
 
 // Scale bounds each experiment run. Paper scale matches the published
@@ -23,8 +25,14 @@ type Scale struct {
 	// be replayed under different fault draws (and vice versa).
 	FaultSeed uint64
 	// Fleet carries the serving-engine knobs of the fleet experiment;
-	// zero values take that experiment's defaults.
+	// zero values take that experiment's defaults. Non-zero fields
+	// override the attached Scenario (the CLI's flags-beat-spec rule).
 	Fleet FleetOptions
+	// Scenario optionally carries the full declarative spec the run was
+	// launched from; experiments that consume one (fleet, chaos, the
+	// modeling sweeps) read their parameters from it. Nil falls back to
+	// each experiment's built-in default scenario.
+	Scenario *scenario.Spec
 }
 
 // FleetOptions parameterizes the fleet serving experiment — the knobs
@@ -49,6 +57,28 @@ var Paper = Scale{Runtime: time.Minute, TotalBytes: 4 << 30, Seed: 42, FaultSeed
 
 // Quick is the test-suite scale.
 var Quick = Scale{Runtime: 2 * time.Second, TotalBytes: 256 << 20, Seed: 42, FaultSeed: 1}
+
+// ScaleFor translates a validated scenario spec into the Scale the
+// experiment runners consume: the spec's scale name picks the base
+// bounds, its runtime/total_bytes override them, and its seeds carry
+// over verbatim. The spec itself rides along for the experiments that
+// read more than bounds from it.
+func ScaleFor(sp *scenario.Spec) Scale {
+	s := Quick
+	if sp.Scale == "paper" {
+		s = Paper
+	}
+	if sp.Runtime > 0 {
+		s.Runtime = sp.Runtime.D()
+	}
+	if sp.TotalBytes > 0 {
+		s.TotalBytes = sp.TotalBytes
+	}
+	s.Seed = sp.Seed
+	s.FaultSeed = sp.FaultSeed
+	s.Scenario = sp
+	return s
+}
 
 // Experiment is one regenerable paper artifact.
 type Experiment struct {

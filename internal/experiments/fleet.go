@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"wattio/internal/scenario"
 	"wattio/internal/serve"
 )
 
@@ -12,53 +13,38 @@ func init() {
 	register("fleet", "Fleet serving: sharded scheduler under a stepped power budget", runFleet)
 }
 
-// Fleet experiment defaults. The stepped schedule walks the fleet down
-// to its low-power plan and partway back up, so one run shows both a
-// curtailment (load shed, tail inflation) and a recovery.
-const (
-	fleetDefaultSize = 64
-	fleetDefaultRate = 7000 // IOPS per active device, ~1.8 GB/s demand: above the ps2 saturated rate, below ps0's
-	fleetHighPD      = 14.6 // W per device: everything at ps0
-	fleetLowPD       = 10.5 // forces most of the fleet to ps2
-	fleetMidPD       = 12.0 // recovery: ps1 becomes affordable
-)
-
 // FleetSpec translates a Scale into the serving-engine spec the fleet
-// experiment runs, applying the experiment's defaults. Exported so
-// bench_test.go benchmarks exactly what powerbench runs.
+// experiment runs: the attached scenario (or the built-in "fleet"
+// scenario when none is attached) materialized through the declarative
+// builder, with any non-zero legacy FleetOptions layered on top.
+// Exported so bench_test.go benchmarks exactly what powerbench runs.
 func FleetSpec(s Scale) (serve.Spec, error) {
+	sp := s.Scenario
+	if sp == nil {
+		sp = scenario.BuiltIn("fleet")
+	}
+	sp = sp.Clone()
+	if sp.Fleet == nil {
+		sp.Fleet = &scenario.FleetSpec{}
+	}
 	o := s.Fleet
-	if o.Size == 0 {
-		o.Size = fleetDefaultSize
+	if o.Size != 0 {
+		sp.Fleet.Size = o.Size
 	}
-	if o.RateIOPS == 0 {
-		o.RateIOPS = fleetDefaultRate
+	if o.Replicas != 0 {
+		sp.Fleet.Replicas = o.Replicas
 	}
-	spec := serve.Spec{
-		Size:            o.Size,
-		Replicas:        o.Replicas,
-		RateIOPS:        o.RateIOPS,
-		Horizon:         s.Runtime,
-		Seed:            s.Seed,
-		FaultSeed:       s.FaultSeed,
-		FaultFrac:       o.FaultFrac,
-		CheckInvariants: true,
+	if o.RateIOPS != 0 {
+		sp.Fleet.RateIOPS = o.RateIOPS
 	}
 	if o.Budget != "" {
-		b, err := serve.ParseSchedule(o.Budget, o.Size)
-		if err != nil {
-			return serve.Spec{}, err
-		}
-		spec.Budget = b
-	} else {
-		pd := float64(o.Size)
-		spec.Budget = []serve.BudgetStep{
-			{At: 0, FleetW: fleetHighPD * pd},
-			{At: s.Runtime / 3, FleetW: fleetLowPD * pd},
-			{At: 2 * s.Runtime / 3, FleetW: fleetMidPD * pd},
-		}
+		sp.Fleet.Budget = o.Budget
 	}
-	return spec, nil
+	if o.FaultFrac != 0 {
+		sp.Fleet.FaultFrac = o.FaultFrac
+	}
+	sp.Seed, sp.FaultSeed = s.Seed, s.FaultSeed
+	return sp.ServeSpec(s.Runtime)
 }
 
 func runFleet(s Scale, w io.Writer) error {

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
+
+	"wattio/internal/scenario"
 )
 
 // fleetScale keeps the serving run small enough for the unit suite
@@ -64,7 +67,7 @@ func TestFleetSpecDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spec.Size != fleetDefaultSize || spec.RateIOPS != fleetDefaultRate {
+	if spec.Size != 64 || spec.RateIOPS != 7000 {
 		t.Fatalf("defaults not applied: %+v", spec)
 	}
 	if len(spec.Budget) != 3 {
@@ -72,5 +75,55 @@ func TestFleetSpecDefaults(t *testing.T) {
 	}
 	if spec.Budget[1].FleetW >= spec.Budget[0].FleetW || spec.Budget[2].FleetW <= spec.Budget[1].FleetW {
 		t.Fatalf("default schedule is not a curtail-then-recover walk: %+v", spec.Budget)
+	}
+}
+
+// TestFleetSpecFromScenario checks the spec pipeline end to end: a
+// Scale carrying a declarative scenario materializes exactly the
+// serving spec the scenario describes, fault scripts included, and
+// legacy flag overrides still win over the spec.
+func TestFleetSpecFromScenario(t *testing.T) {
+	s := Quick
+	s.Scenario = scenario.BuiltIn("stepped-budget")
+	s.Runtime = 2 * time.Second
+	spec, err := FleetSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Size != 64 || spec.Replicas != 2 {
+		t.Fatalf("scenario fleet shape not applied: %+v", spec)
+	}
+	if len(spec.Budget) != 3 || spec.Budget[0].FleetW != 14.6*64 || spec.Budget[1].At != 600*time.Millisecond {
+		t.Fatalf("scenario budget schedule not applied: %+v", spec.Budget)
+	}
+	if len(spec.Faults) != 1 || spec.Faults[0].Device != "SSD2#00003" {
+		t.Fatalf("scenario fault script not applied: %+v", spec.Faults)
+	}
+
+	s.Fleet.Size = 32
+	spec, err = FleetSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Size != 32 {
+		t.Fatalf("flag override lost to scenario: size %d, want 32", spec.Size)
+	}
+}
+
+// TestFleetScenarioFlagEquivalence pins the acceptance contract: the
+// built-in "fleet" scenario and the bare flag path must produce the
+// same serving spec.
+func TestFleetScenarioFlagEquivalence(t *testing.T) {
+	flags, err := FleetSpec(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ScaleFor(scenario.BuiltIn("fleet"))
+	spec, err := FleetSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", flags) != fmt.Sprintf("%+v", spec) {
+		t.Fatalf("flag and scenario specs diverge:\nflags: %+v\nspec:  %+v", flags, spec)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"wattio/internal/scenario"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -54,6 +56,40 @@ func TestGoldenOutputs(t *testing.T) {
 			if !bytes.Equal(buf.Bytes(), want) {
 				t.Errorf("output differs from %s (refresh with -update if intended)\ngot:\n%s\nwant:\n%s",
 					path, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenOutputsViaScenario is the spec-pipeline half of the golden
+// contract: running the same experiments with the paper-default
+// scenario attached must reproduce the flag path's golden bytes
+// exactly — the declarative layer adds no drift.
+func TestGoldenOutputsViaScenario(t *testing.T) {
+	if *update {
+		t.Skip("goldens are refreshed by TestGoldenOutputs")
+	}
+	s := goldenScale
+	s.Scenario = scenario.BuiltIn("paper-default")
+	for _, id := range []string{"table1", "headline", "standby"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(s, &buf); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("scenario-driven run diverges from the golden flag-path output\ngot:\n%s\nwant:\n%s",
+					buf.Bytes(), want)
 			}
 		})
 	}

@@ -10,13 +10,20 @@ import (
 	"wattio/internal/workload"
 )
 
+// modelProfiles is the device set the modeling experiments sweep:
+// the attached scenario's device profiles, or the paper's published
+// four-device set when no scenario (or an empty one) is attached.
+func modelProfiles(s Scale) []string {
+	return s.Scenario.ModelProfiles()
+}
+
 // Figure10 builds the paper's random-write power-throughput models:
 // the full chunk × depth grid for every device, including SSD2's (and
 // SSD1's) power states. Figure 10a plots all devices normalized;
 // Figure 10b isolates SSD2's power states.
 func Figure10(s Scale) (map[string]*core.Model, error) {
 	models := map[string]*core.Model{}
-	for _, name := range []string{"SSD1", "SSD2", "SSD3", "HDD"} {
+	for _, name := range modelProfiles(s) {
 		m, err := sweep.BuildModel(name, device.OpWrite, workload.Rand, s.Seed, s.Runtime, s.TotalBytes)
 		if err != nil {
 			return nil, err
@@ -90,8 +97,9 @@ func init() {
 		if err != nil {
 			return err
 		}
+		profiles := modelProfiles(s)
 		section(w, "Figure 10a: normalized power vs throughput (all devices)")
-		for _, name := range []string{"SSD1", "SSD2", "SSD3", "HDD"} {
+		for _, name := range profiles {
 			m := models[name]
 			fmt.Fprintf(w, "%s: %d points, power range %.2f-%.2fW (dynamic range %.1f%%), max tput %.1f MB/s\n",
 				name, len(m.Samples()), m.MinPowerW(), m.MaxPowerW(), 100*m.DynamicRangeFrac(), m.MaxThroughputMBps())
@@ -99,15 +107,17 @@ func init() {
 				fmt.Fprintf(w, "  tput=%.3f power=%.3f  (%v)\n", p.Throughput, p.Power, p.Sample.Config)
 			}
 		}
-		chartModels(w, "Fig. 10a: normalized power-throughput model (random write)", models, []string{"SSD1", "SSD2", "SSD3", "HDD"})
-		section(w, "Figure 10b: SSD2 by power state")
-		for ps := 0; ps < 3; ps++ {
-			sub, err := models["SSD2"].Filter(func(x core.Sample) bool { return x.PowerState == ps })
-			if err != nil {
-				return err
+		chartModels(w, "Fig. 10a: normalized power-throughput model (random write)", models, profiles)
+		if _, ok := models["SSD2"]; ok {
+			section(w, "Figure 10b: SSD2 by power state")
+			for ps := 0; ps < 3; ps++ {
+				sub, err := models["SSD2"].Filter(func(x core.Sample) bool { return x.PowerState == ps })
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "ps%d: %d points, power %.2f-%.2fW, tput ≤ %.1f MB/s\n",
+					ps, len(sub.Samples()), sub.MinPowerW(), sub.MaxPowerW(), sub.MaxThroughputMBps())
 			}
-			fmt.Fprintf(w, "ps%d: %d points, power %.2f-%.2fW, tput ≤ %.1f MB/s\n",
-				ps, len(sub.Samples()), sub.MinPowerW(), sub.MaxPowerW(), sub.MaxThroughputMBps())
 		}
 		return nil
 	})

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wattio/internal/sim"
+)
+
+// FuzzScenarioRoundTrip fuzzes the whole spec pipeline: any input that
+// parses must canonicalize to a parse fixed point, and any spec that
+// passes validation must materialize through every builder — invalid
+// specs never build, valid specs never fail to.
+func FuzzScenarioRoundTrip(f *testing.F) {
+	for _, name := range BuiltInNames() {
+		b, err := BuiltIn(name).Canonical()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"version":1,"name":"m","experiment":"all","seed":0}`))
+	f.Add([]byte(`{"version":1,"name":"w","experiment":"fig4","seed":9,` +
+		`"devices":[{"profile":"HDD","count":2}],` +
+		`"workload":{"op":"read","pattern":"rand","chunk_bytes":4096,"depth":8,"runtime":"1s"}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // invalid input rejected: that's the contract working
+		}
+		canon, err := sp.Canonical()
+		if err != nil {
+			t.Fatalf("validated spec failed to canonicalize: %v", err)
+		}
+		sp2, err := Parse(bytes.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, canon)
+		}
+		canon2, err := sp2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n--- first\n%s\n--- second\n%s", canon, canon2)
+		}
+
+		// Validated specs always build.
+		if _, err := sp.ServeSpec(time.Second); err != nil {
+			t.Fatalf("validated spec failed to build a serving spec: %v", err)
+		}
+		if sp.Workload != nil {
+			if _, err := sp.Workload.Job(time.Second, 1<<20); err != nil {
+				t.Fatalf("validated workload failed to build a job: %v", err)
+			}
+		}
+		total := 0
+		for _, d := range sp.Devices {
+			c := d.Count
+			if c == 0 {
+				c = 1
+			}
+			total += c
+		}
+		// Materializing devices costs real allocations; bound the fleet
+		// so a single fuzz exec stays cheap.
+		if total <= 64 {
+			eng := sim.NewEngine()
+			if _, err := sp.BuildDevices(eng, sim.NewRNG(sp.Seed), sim.NewRNG(sp.FaultSeed)); err != nil {
+				t.Fatalf("validated devices failed to build: %v", err)
+			}
+		}
+	})
+}

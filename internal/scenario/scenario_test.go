@@ -1,0 +1,289 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wattio/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite scenarios/*.json from the built-in specs")
+
+// TestBuiltInsValid pins the contract every built-in must satisfy:
+// it validates, its canonical encoding is a parse fixed point, and all
+// of its builders materialize.
+func TestBuiltInsValid(t *testing.T) {
+	for _, name := range BuiltInNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sp := BuiltIn(name)
+			if sp == nil {
+				t.Fatal("BuiltIn returned nil for a listed name")
+			}
+			if sp.Name != name {
+				t.Errorf("built-in %q names itself %q", name, sp.Name)
+			}
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("built-in does not validate: %v", err)
+			}
+			canon, err := sp.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp2, err := Parse(bytes.NewReader(canon))
+			if err != nil {
+				t.Fatalf("canonical form does not re-parse: %v", err)
+			}
+			canon2, err := sp2.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(canon, canon2) {
+				t.Fatalf("canonical encoding is not a fixed point:\n--- first\n%s\n--- second\n%s", canon, canon2)
+			}
+
+			if _, err := sp.ServeSpec(time.Second); err != nil {
+				t.Fatalf("ServeSpec: %v", err)
+			}
+			eng := sim.NewEngine()
+			devs, err := sp.BuildDevices(eng, sim.NewRNG(sp.Seed), sim.NewRNG(sp.FaultSeed))
+			if err != nil {
+				t.Fatalf("BuildDevices: %v", err)
+			}
+			if len(devs) != 0 && devs[0].Dev == nil {
+				t.Fatal("BuildDevices returned a nil device")
+			}
+			if sp.Workload != nil {
+				if _, err := sp.Workload.Job(time.Second, 1<<20); err != nil {
+					t.Fatalf("Job: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioFilesCanonical pins scenarios/<name>.json ==
+// BuiltIn(name).Canonical() for every built-in, and rejects stray
+// files, so the on-disk specs can never drift from the defaults the
+// experiments run. Regenerate with
+//
+//	go test ./internal/scenario -run TestScenarioFilesCanonical -update
+func TestScenarioFilesCanonical(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	if *update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range BuiltInNames() {
+		canon, err := BuiltIn(name).Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".json")
+		if *update {
+			if err := os.WriteFile(path, canon, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+			continue
+		}
+		if !bytes.Equal(got, canon) {
+			t.Errorf("%s drifted from the built-in spec (regenerate with -update if intended)", path)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%v (generate with -update)", err)
+	}
+	for _, e := range entries {
+		base := strings.TrimSuffix(e.Name(), ".json")
+		if base == e.Name() || BuiltIn(base) == nil {
+			t.Errorf("stray file scenarios/%s: every spec there must match a built-in", e.Name())
+		}
+	}
+}
+
+func TestDefault(t *testing.T) {
+	if sp := Default("fleet"); sp.Name != "fleet" || sp.Experiment != "fleet" {
+		t.Errorf("Default(fleet) = %q/%q", sp.Name, sp.Experiment)
+	}
+	if sp := Default("chaos"); sp.Name != "chaos" {
+		t.Errorf("Default(chaos) = %q", sp.Name)
+	}
+	sp := Default("fig4")
+	if sp.Name != "paper-default" || sp.Experiment != "fig4" {
+		t.Errorf("Default(fig4) = %q/%q", sp.Name, sp.Experiment)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Errorf("Default(fig4) does not validate: %v", err)
+	}
+}
+
+func TestParseStrict(t *testing.T) {
+	minimal := `{"version":1,"name":"m","experiment":"all","seed":0}`
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown field", `{"version":1,"name":"m","experiment":"all","seed":0,"sizee":3}`, "sizee"},
+		{"nested unknown field", `{"version":1,"name":"m","experiment":"fleet","seed":0,"fleet":{"sizee":8}}`, "sizee"},
+		{"trailing data", minimal + `{}`, "trailing data"},
+		{"wrong version", `{"version":99,"name":"m","experiment":"all","seed":0}`, "version"},
+		{"missing name", `{"version":1,"experiment":"all","seed":0}`, "name"},
+		{"numeric duration", `{"version":1,"name":"m","experiment":"all","seed":0,"runtime":250}`, "string"},
+		{"negative duration", `{"version":1,"name":"m","experiment":"all","seed":0,"runtime":"-5s"}`, "negative"},
+		{"not json", `hello`, "scenario"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := Parse(strings.NewReader(minimal)); err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+}
+
+// TestValidateRejectsWithPath checks each semantic rejection names the
+// offending spec path, so a bad file is fixable from the error alone.
+func TestValidateRejectsWithPath(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no name", func(s *Spec) { s.Name = " " }, "name"},
+		{"no experiment", func(s *Spec) { s.Experiment = "" }, "experiment"},
+		{"bad scale", func(s *Spec) { s.Scale = "huge" }, "scale"},
+		{"negative bytes", func(s *Spec) { s.TotalBytes = -1 }, "total_bytes"},
+		{"bad profile", func(s *Spec) { s.Devices = []DeviceSpec{{Profile: "NOPE"}} }, "devices[0].profile"},
+		{"bad fault kind", func(s *Spec) {
+			s.Devices = []DeviceSpec{{Profile: "SSD2", Faults: []FaultWindow{{Kind: "meteor", Dur: Duration(time.Second)}}}}
+		}, "devices[0].faults[0].kind"},
+		{"zero fault dur", func(s *Spec) {
+			s.Devices = []DeviceSpec{{Profile: "SSD2", Faults: []FaultWindow{{Kind: "dropout"}}}}
+		}, "devices[0].faults[0].dur"},
+		{"oversize count", func(s *Spec) { s.Devices = []DeviceSpec{{Profile: "SSD2", Count: 1 << 20}} }, "devices[0].count"},
+		{"bad budget", func(s *Spec) { s.Fleet.Budget = "0s:junk" }, "fleet.budget"},
+		{"unknown fleet profile", func(s *Spec) { s.Fleet.Profiles = []string{"NOPE"}; s.Fleet.Faults = nil }, "fleet.profiles[0]"},
+		{"unknown fleet instance", func(s *Spec) { s.Fleet.Faults[0].Device = "SSD2#99999" }, "fleet.faults[0].device"},
+		{"empty fault windows", func(s *Spec) { s.Fleet.Faults[0].Windows = nil }, "fleet.faults[0].windows"},
+		{"indivisible replicas", func(s *Spec) { s.Fleet.Size = 10; s.Fleet.Replicas = 4; s.Fleet.Faults = nil }, "fleet.replicas"},
+		{"oversize fleet", func(s *Spec) { s.Fleet.Size = 1 << 20; s.Fleet.Faults = nil }, "fleet.size"},
+		{"fault frac", func(s *Spec) { s.Fleet.FaultFrac = 1.5 }, "fleet.fault_frac"},
+		{"bad arrival", func(s *Spec) { s.Fleet.Arrival = "bursty" }, "fleet.arrival"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := BuiltIn("stepped-budget")
+			tc.mut(sp)
+			err := sp.Validate()
+			if err == nil {
+				t.Fatal("mutated spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name path %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("workload op", func(t *testing.T) {
+		sp := BuiltIn("powercap")
+		sp.Workload.Op = "append"
+		if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "workload.op") {
+			t.Fatalf("bad op: %v", err)
+		}
+	})
+	t.Run("chaos active", func(t *testing.T) {
+		sp := BuiltIn("chaos")
+		sp.Chaos.Active = 5
+		if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "chaos.active") {
+			t.Fatalf("active > replicas: %v", err)
+		}
+	})
+}
+
+// TestCloneIndependence: mutating a clone must not leak into the
+// built-in it was copied from (the CLI's override layer relies on it).
+func TestCloneIndependence(t *testing.T) {
+	a := BuiltIn("stepped-budget")
+	b := a.Clone()
+	b.Fleet.Size = 7
+	b.Fleet.Faults[0].Device = "mutated"
+	if a.Fleet.Size == 7 || a.Fleet.Faults[0].Device == "mutated" {
+		t.Fatal("Clone shares state with its source")
+	}
+}
+
+// TestServeSpecDefaults pins the flag-free fleet materialization: 64
+// devices at 7000 IOPS under the stepped curtail-and-recover schedule.
+func TestServeSpecDefaults(t *testing.T) {
+	sp := &Spec{Version: Version, Name: "d", Experiment: "fleet", Seed: 1}
+	ss, err := sp.ServeSpec(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Size != 64 || ss.RateIOPS != 7000 {
+		t.Fatalf("defaults: %+v", ss)
+	}
+	if len(ss.Budget) != 3 || ss.Budget[1].At != time.Second || ss.Budget[2].At != 2*time.Second {
+		t.Fatalf("stepped default budget: %+v", ss.Budget)
+	}
+	if ss.Budget[0].FleetW != 14.6*64 {
+		t.Fatalf("high step: %v", ss.Budget[0].FleetW)
+	}
+
+	sp.Fleet = &FleetSpec{Budget: "max"}
+	ss, err = sp.ServeSpec(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Budget != nil {
+		t.Fatalf("budget \"max\" should leave the schedule nil, got %+v", ss.Budget)
+	}
+}
+
+// TestBuildDevicesNaming pins instance naming and per-device stream
+// isolation: count>1 expands to name0..nameN, and scripting a fault on
+// one device must not change another's draws.
+func TestBuildDevicesNaming(t *testing.T) {
+	sp := &Spec{
+		Version: Version, Name: "n", Experiment: "all", Seed: 3,
+		Devices: []DeviceSpec{
+			{Profile: "SSD2"},
+			{Profile: "EVO", Name: "replica", Count: 3},
+		},
+	}
+	eng := sim.NewEngine()
+	devs, err := sp.BuildDevices(eng, sim.NewRNG(3), sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SSD2", "replica0", "replica1", "replica2"}
+	if len(devs) != len(want) {
+		t.Fatalf("built %d devices, want %d", len(devs), len(want))
+	}
+	for i, d := range devs {
+		if d.Name != want[i] {
+			t.Errorf("device %d named %q, want %q", i, d.Name, want[i])
+		}
+		if d.Dev.Name() != want[i] {
+			t.Errorf("engine device %d named %q, want %q", i, d.Dev.Name(), want[i])
+		}
+	}
+}

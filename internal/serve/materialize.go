@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"wattio/internal/catalog"
+	"wattio/internal/device"
+	"wattio/internal/fault"
+	"wattio/internal/sim"
+)
+
+// InstanceName is the canonical name of fleet device i of a profile —
+// the key planning models, governors, and fault scripts address it by.
+func InstanceName(profile string, i int) string {
+	return fmt.Sprintf("%s#%05d", profile, i)
+}
+
+// profileOf is the catalog profile of fleet device i in a normalized
+// spec: replica groups round-robin over the profile mix.
+func (s *Spec) profileOf(i int) string {
+	return s.Profiles[(i/s.Replicas)%len(s.Profiles)]
+}
+
+// scriptedFaults indexes a spec's fault scripts by instance name.
+func scriptedFaults(sp *Spec) map[string][]fault.Window {
+	if len(sp.Faults) == 0 {
+		return nil
+	}
+	m := make(map[string][]fault.Window, len(sp.Faults))
+	for _, df := range sp.Faults {
+		m[df.Device] = append(m[df.Device], df.Windows...)
+	}
+	return m
+}
+
+// materializeDevice builds fleet device gi of a profile on a shard's
+// engine and applies fault injection: the spec's scripted plan when it
+// names this instance, else the FaultFrac probabilistic draw. Both the
+// device stream and the fault stream are labeled by the instance name,
+// and a scripted instance skips the probabilistic draw entirely — the
+// draws of every other instance come from their own streams, so adding
+// a script to one device never perturbs another's faults or workload.
+func materializeDevice(sp *Spec, eng *sim.Engine, rng, frng *sim.RNG,
+	scripted map[string][]fault.Window, profile string, gi int) (device.Device, string, bool, error) {
+	name := InstanceName(profile, gi)
+	d, ok := catalog.NewNamed(profile, name, eng, rng.Stream(name))
+	if !ok {
+		return nil, "", false, fmt.Errorf("unknown profile %q", profile)
+	}
+	ds := frng.Stream(name)
+	if wins := scripted[name]; len(wins) > 0 {
+		fd, err := fault.New(d, eng, ds.Stream("inject"), fault.Profile{Windows: wins})
+		if err != nil {
+			return nil, "", false, fmt.Errorf("fault script for %s: %w", name, err)
+		}
+		return fd, name, true, nil
+	}
+	if sp.FaultFrac > 0 && ds.Float64() < sp.FaultFrac {
+		kind := fault.Dropout
+		if ds.Float64() < 0.5 {
+			kind = fault.PowerCmdFail
+		}
+		start := time.Duration(float64(sp.Horizon) * (0.2 + 0.4*ds.Float64()))
+		dur := time.Duration(float64(sp.Horizon) * (0.1 + 0.15*ds.Float64()))
+		fd, err := fault.New(d, eng, ds.Stream("inject"), fault.Profile{
+			Windows: []fault.Window{{Kind: kind, Start: start, Dur: dur}},
+		})
+		if err != nil {
+			return nil, "", false, err
+		}
+		return fd, name, true, nil
+	}
+	return d, name, false, nil
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 
 	"wattio/internal/core"
 )
@@ -55,6 +56,17 @@ func planningModel(profile, instance string) (*core.Model, error) {
 		}
 	}
 	return core.NewModel(instance, samples)
+}
+
+// KnownProfiles lists the profiles the planning table covers, sorted —
+// the set a fleet spec (or scenario file) may draw devices from.
+func KnownProfiles() []string {
+	out := make([]string, 0, len(planningTable))
+	for p := range planningTable {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // profileMaxW returns the highest planning-model power of a profile —

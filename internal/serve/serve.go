@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"wattio/internal/fault"
 	"wattio/internal/stats"
 	"wattio/internal/workload"
 )
@@ -102,10 +103,20 @@ type Spec struct {
 	// FaultFrac is the fraction of devices given an injected fault
 	// window (dropout or power-command failure), drawn from FaultSeed.
 	FaultFrac float64
+	// Faults scripts explicit fault windows onto named fleet instances
+	// (see InstanceName). A scripted instance skips the FaultFrac draw;
+	// all other instances are unaffected.
+	Faults []DeviceFault
 
 	// CheckInvariants attaches per-shard sliding-window power-cap and
 	// clock-monotonicity probes; violations fail the run.
 	CheckInvariants bool
+}
+
+// DeviceFault scripts fault windows onto one named fleet instance.
+type DeviceFault struct {
+	Device  string
+	Windows []fault.Window
 }
 
 // normalized returns a copy with defaults filled in, or an error when
@@ -231,16 +242,34 @@ func (s Spec) normalized() (Spec, error) {
 			return s, fmt.Errorf("serve: budget step %d at %v is past the horizon %v", i, st.At, s.Horizon)
 		}
 	}
+	if len(s.Faults) > 0 {
+		valid := make(map[string]bool, s.Size)
+		for i := 0; i < s.Size; i++ {
+			valid[InstanceName(s.profileOf(i), i)] = true
+		}
+		for _, df := range s.Faults {
+			if !valid[df.Device] {
+				return s, fmt.Errorf("serve: fault script targets unknown instance %q (names are %q)",
+					df.Device, InstanceName(s.profileOf(0), 0))
+			}
+			if len(df.Windows) == 0 {
+				return s, fmt.Errorf("serve: fault script for %q has no windows", df.Device)
+			}
+		}
+	}
 	return s, nil
 }
 
 // ParseSchedule parses a budget schedule flag: comma-separated
 // "duration:watts" steps, e.g. "0s:640,1s:448". A "pd" suffix on the
 // watts makes the value per-device, scaled by the fleet size:
-// "0s:14pd" means size × 14 W.
+// "0s:14pd" means size × 14 W. Step times must be strictly increasing;
+// empty schedules, duplicate times, and backward steps are rejected
+// with the offending segment named — scenario validation surfaces
+// these messages verbatim.
 func ParseSchedule(text string, size int) ([]BudgetStep, error) {
 	if strings.TrimSpace(text) == "" {
-		return nil, nil
+		return nil, fmt.Errorf("serve: empty budget schedule")
 	}
 	var out []BudgetStep
 	for _, part := range strings.Split(text, ",") {
@@ -263,6 +292,14 @@ func ParseSchedule(text string, size int) ([]BudgetStep, error) {
 		}
 		if perDev {
 			w *= float64(size)
+		}
+		if n := len(out); n > 0 {
+			switch {
+			case d == out[n-1].At:
+				return nil, fmt.Errorf("serve: budget step %q repeats step time %v", part, d)
+			case d < out[n-1].At:
+				return nil, fmt.Errorf("serve: budget step %q goes backward (%v after %v)", part, d, out[n-1].At)
+			}
 		}
 		out = append(out, BudgetStep{At: d, FleetW: w})
 	}

@@ -6,7 +6,53 @@ import (
 	"time"
 
 	"wattio/internal/detcheck"
+	"wattio/internal/fault"
 )
+
+// TestScriptedFaults pins the spec-scripted fault path: the named
+// instance is wrapped and counted, scripting it does not perturb any
+// other device's draws, and bad scripts are rejected by name.
+func TestScriptedFaults(t *testing.T) {
+	base := quickSpec()
+	base.FaultFrac = 0
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp := quickSpec()
+	sp.FaultFrac = 0
+	sp.Faults = []DeviceFault{{
+		Device: InstanceName("SSD2", 0),
+		Windows: []fault.Window{
+			{Kind: fault.Dropout, Start: 200 * time.Millisecond, Dur: 100 * time.Millisecond},
+		},
+	}}
+	rep, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faulted != 1 {
+		t.Fatalf("scripted fault count = %d, want 1", rep.Faulted)
+	}
+	if rep.Failovers == 0 {
+		t.Fatal("scripted dropout inside a replica group caused no failovers")
+	}
+	// Arrivals draw from the workload seed only, so a fault script must
+	// never change the offered load.
+	if rep.Offered != clean.Offered {
+		t.Fatalf("fault script perturbed arrivals: offered %d, want %d", rep.Offered, clean.Offered)
+	}
+
+	sp.Faults[0].Device = "SSD9#00000"
+	if _, err := Run(sp); err == nil || !strings.Contains(err.Error(), `"SSD9#00000"`) {
+		t.Fatalf("unknown scripted instance not rejected by name: %v", err)
+	}
+	sp.Faults[0] = DeviceFault{Device: InstanceName("SSD2", 0)}
+	if _, err := Run(sp); err == nil || !strings.Contains(err.Error(), "no windows") {
+		t.Fatalf("empty fault script not rejected: %v", err)
+	}
+}
 
 // quickSpec is a small mixed fleet with replication, faults, and a
 // stepped budget — every moving part of the engine enabled, sized to
@@ -191,14 +237,29 @@ func TestParseSchedule(t *testing.T) {
 		t.Fatalf("pd scaling: got %+v", got)
 	}
 
-	if s, err := ParseSchedule("  ", 10); err != nil || s != nil {
-		t.Fatalf("blank schedule: %v %v", s, err)
+	rejects := []struct {
+		name, text, wantErr string
+	}{
+		{"empty", "", "empty budget schedule"},
+		{"blank", "  ", "empty budget schedule"},
+		{"no colon", "640", "not duration:watts"},
+		{"bad duration", "xs:640", `"xs:640"`},
+		{"bad watts", "0s:abc", `bad watts "abc"`},
+		{"bad pd watts", "0s:12qq", `bad watts "12qq"`},
+		{"duplicate step time", "0s:640,1s:500,1s:480", `"1s:480" repeats step time 1s`},
+		{"backward step time", "0s:640,2s:500,1s:480", `"1s:480" goes backward (1s after 2s)`},
+		{"duplicate at zero", "0s:640,0s:500", `"0s:500" repeats step time 0s`},
 	}
-
-	for _, bad := range []string{"640", "xs:640", "0s:abc", "0s:12qq"} {
-		if _, err := ParseSchedule(bad, 10); err == nil {
-			t.Fatalf("ParseSchedule(%q) accepted", bad)
-		}
+	for _, tc := range rejects {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSchedule(tc.text, 10)
+			if err == nil {
+				t.Fatalf("ParseSchedule(%q) accepted", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseSchedule(%q) error %q does not name the bad segment (want %q)", tc.text, err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -7,10 +7,8 @@ import (
 	"time"
 
 	"wattio/internal/adaptive"
-	"wattio/internal/catalog"
 	"wattio/internal/core"
 	"wattio/internal/device"
-	"wattio/internal/fault"
 	"wattio/internal/sim"
 	"wattio/internal/telemetry/invariant"
 	"wattio/internal/workload"
@@ -278,34 +276,18 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	s.res.CapOK = true
 
 	// Build devices, planning models, replica groups, and lanes.
+	scripted := scriptedFaults(sp)
 	var models []*core.Model
 	for g := rg.g0; g < rg.g1; g++ {
 		profile := sp.Profiles[g%len(sp.Profiles)]
 		groupDevs := make([]device.Device, 0, sp.Replicas)
 		for rep := 0; rep < sp.Replicas; rep++ {
 			gi := g*sp.Replicas + rep
-			name := fmt.Sprintf("%s#%05d", profile, gi)
-			d, ok := catalog.NewNamed(profile, name, eng, rng.Stream(name))
-			if !ok {
-				return nil, fmt.Errorf("unknown profile %q", profile)
+			d, name, faulted, err := materializeDevice(sp, eng, rng, frng, scripted, profile, gi)
+			if err != nil {
+				return nil, err
 			}
-			// Fault selection and shape are drawn from the fault seed's
-			// per-device stream, independent of the workload draws.
-			ds := frng.Stream(name)
-			if sp.FaultFrac > 0 && ds.Float64() < sp.FaultFrac {
-				kind := fault.Dropout
-				if ds.Float64() < 0.5 {
-					kind = fault.PowerCmdFail
-				}
-				start := time.Duration(float64(sp.Horizon) * (0.2 + 0.4*ds.Float64()))
-				dur := time.Duration(float64(sp.Horizon) * (0.1 + 0.15*ds.Float64()))
-				fd, err := fault.New(d, eng, ds.Stream("inject"), fault.Profile{
-					Windows: []fault.Window{{Kind: kind, Start: start, Dur: dur}},
-				})
-				if err != nil {
-					return nil, err
-				}
-				d = fd
+			if faulted {
 				s.res.Faulted++
 			}
 			m, err := planningModel(profile, name)
