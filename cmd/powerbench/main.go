@@ -118,6 +118,13 @@ func run(argv []string, stdout, errw io.Writer) int {
 		fmt.Fprintf(errw, "powerbench: %v\n", err)
 		return 2
 	}
+	// A gridded spec describes a whole point family, and powerbench runs
+	// exactly one configuration; the campaign executor owns grids.
+	if sp.Grid != nil {
+		fmt.Fprintf(errw, "powerbench: %s is a campaign spec (grid stanza); run it with `powerfleet campaign -scenario %s`\n",
+			sp.Name, *scenFile)
+		return 2
+	}
 
 	s := experiments.ScaleFor(sp)
 	// The fleet flags ride along as a second override layer; zero values

@@ -25,7 +25,7 @@ func writeSpec(t *testing.T, name, body string) string {
 
 // tinySpec is a fleet scenario small enough for the unit suite.
 const tinySpec = `{
-  "version": 1,
+  "version": 2,
   "name": "tiny",
   "experiment": "fleet",
   "runtime": "250ms",
@@ -99,6 +99,31 @@ func TestScenarioValidationNamesPath(t *testing.T) {
 	}
 	if !strings.Contains(errw, "fleet.budget") {
 		t.Fatalf("error does not name the offending path: %s", errw)
+	}
+}
+
+// TestScenarioGridRejected: powerbench runs one configuration, so a
+// campaign spec must be redirected to `powerfleet campaign`, not run as
+// whichever point powerbench would silently pick.
+func TestScenarioGridRejected(t *testing.T) {
+	path := writeSpec(t, "grid.json", strings.Replace(tinySpec,
+		`"fleet": {`, `"grid": {"fleet_sizes": [8, 16]},
+  "fleet": {`, 1))
+	code, _, errw := runCLI("-scenario", path)
+	if code != 2 {
+		t.Fatalf("campaign spec accepted: exit %d, stderr: %s", code, errw)
+	}
+	if !strings.Contains(errw, "powerfleet campaign") {
+		t.Fatalf("error does not point at the campaign runner: %s", errw)
+	}
+}
+
+// TestScenarioV1Hint: a stale version-1 spec names the migration path.
+func TestScenarioV1Hint(t *testing.T) {
+	path := writeSpec(t, "v1.json", strings.Replace(tinySpec, `"version": 2`, `"version": 1`, 1))
+	code, _, errw := runCLI("-scenario", path)
+	if code != 2 || !strings.Contains(errw, "-migrate") {
+		t.Fatalf("v1 spec: exit %d, stderr: %s", code, errw)
 	}
 }
 

@@ -12,17 +12,23 @@
 //	powerfleet slo -budget 12 -p99 5ms ssd2.json
 //	powerfleet scenario scenarios/*.json
 //	powerfleet scenario -w scenarios/fleet.json
+//	powerfleet scenario -migrate old-spec.json
+//	powerfleet campaign -scenario scenarios/campaign.json -parallel 4 -out results/
 package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"wattio/internal/campaign"
 	"wattio/internal/catalog"
 	"wattio/internal/core"
 	"wattio/internal/device"
@@ -50,6 +56,7 @@ func run(argv []string, out, errw io.Writer) int {
 		"curtail":  curtail,
 		"slo":      slo,
 		"scenario": scenarioCmd,
+		"campaign": campaignCmd,
 	}
 	cmd, ok := cmds[argv[0]]
 	if !ok {
@@ -73,7 +80,8 @@ func usage(w io.Writer) {
   powerfleet plan -budget <watts> <model.json>...
   powerfleet curtail -reduce <frac> -chunk <bytes> -depth <n> <model.json>
   powerfleet slo [-budget W] [-p99 dur] [-avg dur] [-minmbps N] <model.json>
-  powerfleet scenario [-w] <spec.json>...`)
+  powerfleet scenario [-w|-migrate] <spec.json>...
+  powerfleet campaign -scenario <spec.json|builtin> [-parallel N] [-out dir]`)
 }
 
 // newFlagSet builds a subcommand flag set that reports parse errors as
@@ -247,15 +255,21 @@ func curtail(args []string, out io.Writer) error {
 // checks, and the canonical-encoding contract that lets specs serve as
 // golden inputs. -w rewrites non-canonical (but valid) files in place;
 // without it, drifted files are an error so CI can gate on them.
+// -migrate rewrites old-version specs to the current schema (canonical
+// encoding) in place.
 func scenarioCmd(args []string, out io.Writer) error {
 	fs := newFlagSet("scenario")
 	write := fs.Bool("w", false, "rewrite valid but non-canonical spec files in place")
+	migrate := fs.Bool("migrate", false, "rewrite old-version spec files to the current schema in place")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	paths := fs.Args()
 	if len(paths) == 0 {
 		return fmt.Errorf("need at least one scenario file")
+	}
+	if *migrate {
+		return migrateSpecs(paths, out)
 	}
 	var stale []string
 	for _, p := range paths {
@@ -288,6 +302,121 @@ func scenarioCmd(args []string, out io.Writer) error {
 		return fmt.Errorf("valid but not canonical (rerun with scenario -w to rewrite): %s", strings.Join(stale, ", "))
 	}
 	return nil
+}
+
+// migrateSpecs rewrites each old-version spec file to the current
+// schema in canonical form. Files already at the current version are
+// left untouched and reported as such; any malformed file aborts with
+// its path and the offending spec path attached.
+func migrateSpecs(paths []string, out io.Writer) error {
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		sp, err := scenario.Migrate(raw)
+		if err != nil {
+			if errors.Is(err, scenario.ErrAlreadyCurrent) {
+				fmt.Fprintf(out, "%s: already at version %d\n", p, scenario.Version)
+				continue
+			}
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		canon, err := sp.Canonical()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if err := os.WriteFile(p, canon, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: migrated to version %d (%s)\n", p, scenario.Version, sp.Name)
+	}
+	return nil
+}
+
+// campaignCmd expands a gridded scenario spec into its point family and
+// runs every point across a worker pool, printing one summary row per
+// point in grid order. -out writes the merged canonical report to
+// <dir>/BENCH_campaign.json plus one per-point report per label; both
+// are byte-identical at any -parallel value.
+func campaignCmd(args []string, out io.Writer) error {
+	fs := newFlagSet("campaign")
+	scen := fs.String("scenario", "", "campaign spec: a file path or a built-in scenario name")
+	parallel := fs.Int("parallel", 0, "points to run concurrently (0 = one per CPU)")
+	outDir := fs.String("out", "", "directory to write BENCH_campaign.json and per-point reports into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scen == "" {
+		return fmt.Errorf("campaign needs -scenario (a spec file or one of: %s)", strings.Join(scenario.BuiltInNames(), ", "))
+	}
+	sp, err := loadSpec(*scen)
+	if err != nil {
+		return err
+	}
+	rep, err := campaign.Run(sp, *parallel)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "campaign %s: %d points", rep.Campaign, len(rep.Points))
+	if len(rep.Axes) > 0 {
+		parts := make([]string, len(rep.Axes))
+		for i, a := range rep.Axes {
+			parts[i] = fmt.Sprintf("%s=%d", a.Key, a.Len)
+		}
+		fmt.Fprintf(out, " (%s)", strings.Join(parts, " x "))
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-16s %6s %9s %9s %9s %8s %6s\n",
+		"point", "devs", "completed", "MB/s", "p99", "avgW", "track")
+	for _, p := range rep.Points {
+		track := "ok"
+		if !p.Report.TrackOK {
+			track = "MISS"
+		}
+		fmt.Fprintf(out, "%-16s %6d %9d %9.1f %9v %8.1f %6s\n",
+			p.Label, p.Size, p.Report.Completed, p.Report.ThroughputMBps,
+			p.Report.LatP99.Round(10*time.Microsecond), p.Report.AvgPowerW, track)
+	}
+
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	merged, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	mergedPath := filepath.Join(*outDir, "BENCH_campaign.json")
+	if err := os.WriteFile(mergedPath, merged, 0o644); err != nil {
+		return err
+	}
+	for _, p := range rep.Points {
+		b, err := json.MarshalIndent(&p, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, p.Label+".json"), append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "wrote %s and %d per-point reports\n", mergedPath, len(rep.Points))
+	return nil
+}
+
+// loadSpec resolves a -scenario argument: an existing file path wins,
+// otherwise a built-in scenario name.
+func loadSpec(arg string) (*scenario.Spec, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return scenario.LoadFile(arg)
+	}
+	if sp := scenario.BuiltIn(arg); sp != nil {
+		return sp, nil
+	}
+	return nil, fmt.Errorf("%s: not a spec file or built-in scenario (have %s)", arg, strings.Join(scenario.BuiltInNames(), ", "))
 }
 
 func slo(args []string, out io.Writer) error {

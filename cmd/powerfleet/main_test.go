@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -217,7 +219,7 @@ func TestScenarioSubcommand(t *testing.T) {
 	}
 
 	bad := filepath.Join(dir, "bad.json")
-	if err := os.WriteFile(bad, []byte(`{"version":1,"name":"x","experiment":"fleet","seed":1,"fleet":{"size":-4}}`), 0o644); err != nil {
+	if err := os.WriteFile(bad, []byte(`{"version":2,"name":"x","experiment":"fleet","seed":1,"fleet":{"size":-4}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if code, _, stderr := runCLI("scenario", bad); code == 0 || !strings.Contains(stderr, "fleet.size") {
@@ -233,5 +235,128 @@ func TestMissingFile(t *testing.T) {
 	code, _, stderr := runCLI("info", filepath.Join(t.TempDir(), "nope.json"))
 	if code == 0 || !strings.Contains(stderr, "nope.json") {
 		t.Errorf("missing file: exit %d, stderr %s", code, stderr)
+	}
+}
+
+// TestScenarioMigrate covers the migration path end to end: a stale
+// version-1 file is rejected by the validation gate with a hint, then
+// rewritten by -migrate into the exact canonical version-2 encoding;
+// re-migrating is a no-op, and malformed files fail with the offending
+// path.
+func TestScenarioMigrate(t *testing.T) {
+	dir := t.TempDir()
+	sp := scenario.BuiltIn("fleet")
+	sp.Version = 1
+	v1, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(old, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, _, stderr := runCLI("scenario", old); code == 0 || !strings.Contains(stderr, "-migrate") {
+		t.Fatalf("stale v1 spec should fail with a -migrate hint: exit %d, stderr: %s", code, stderr)
+	}
+
+	code, out, stderr := runCLI("scenario", "-migrate", old)
+	if code != 0 {
+		t.Fatalf("migrate failed: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "migrated to version 2") {
+		t.Errorf("migrate output:\n%s", out)
+	}
+	got, err := os.ReadFile(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := scenario.BuiltIn("fleet").Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(canon) {
+		t.Fatalf("migrated file is not the canonical v2 encoding:\n%s", got)
+	}
+	if code, _, stderr := runCLI("scenario", old); code != 0 {
+		t.Fatalf("migrated file rejected by the validation gate: %s", stderr)
+	}
+
+	code, out, _ = runCLI("scenario", "-migrate", old)
+	if code != 0 || !strings.Contains(out, "already at version 2") {
+		t.Fatalf("re-migrate: exit %d, out: %s", code, out)
+	}
+	if after, _ := os.ReadFile(old); string(after) != string(canon) {
+		t.Fatal("re-migrate rewrote an already-current file")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"name":"x","experiment":"fleet","seed":1,"fleet":{"sizee":4}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCLI("scenario", "-migrate", bad); code == 0 || !strings.Contains(stderr, "sizee") {
+		t.Fatalf("malformed v1 spec: exit %d, stderr: %s", code, stderr)
+	}
+}
+
+// TestCampaignSubcommand runs the canonical campaign end to end through
+// the CLI at two worker counts and requires the written artifacts to be
+// byte-identical — the acceptance gate for the deterministic-parallel
+// contract at the outermost layer.
+func TestCampaignSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	sp := scenario.BuiltIn("campaign")
+	sp.Runtime = scenario.Duration(150 * time.Millisecond)
+	canon, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "campaign.json")
+	if err := os.WriteFile(specPath, canon, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out1 := filepath.Join(dir, "serial")
+	code, stdout, stderr := runCLI("campaign", "-scenario", specPath, "-parallel", "1", "-out", out1)
+	if code != 0 {
+		t.Fatalf("campaign exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"8 points", "b=2 x n=2 x fs=2", "b0-n0-fs0", "b1-n1-fs1", "wrote"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("campaign output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	outN := filepath.Join(dir, "parallel")
+	if code, _, stderr := runCLI("campaign", "-scenario", specPath, "-parallel", "8", "-out", outN); code != 0 {
+		t.Fatalf("parallel campaign exit %d, stderr: %s", code, stderr)
+	}
+	files, err := os.ReadDir(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 9 { // merged report + 8 per-point reports
+		t.Fatalf("wrote %d files, want 9", len(files))
+	}
+	for _, f := range files {
+		a, err := os.ReadFile(filepath.Join(out1, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(outN, f.Name()))
+		if err != nil {
+			t.Fatalf("parallel run did not write %s: %v", f.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between -parallel 1 and -parallel 8", f.Name())
+		}
+	}
+
+	// A built-in name resolves too, and bad arguments fail helpfully.
+	if code, _, stderr := runCLI("campaign"); code == 0 || !strings.Contains(stderr, "-scenario") {
+		t.Fatalf("bare campaign: exit %d, stderr: %s", code, stderr)
+	}
+	if code, _, stderr := runCLI("campaign", "-scenario", "no-such-thing"); code == 0 || !strings.Contains(stderr, "built-in") {
+		t.Fatalf("unknown spec: exit %d, stderr: %s", code, stderr)
 	}
 }

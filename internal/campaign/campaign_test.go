@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"wattio/internal/detcheck"
+	"wattio/internal/scenario"
+)
+
+// testSpec returns the canonical campaign built-in shrunk to a horizon
+// a unit test can afford (the structure — three axes, scripted fault,
+// mirrored fleet — is kept intact).
+func testSpec(t testing.TB) *scenario.Spec {
+	t.Helper()
+	sp := scenario.BuiltIn("campaign")
+	if sp == nil {
+		t.Fatal("no campaign built-in")
+	}
+	sp.Runtime = scenario.Duration(150 * time.Millisecond)
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestCampaignDeterminism pins the headline contract: the canonical
+// report encoding is byte-identical across repeat runs, pinned
+// GOMAXPROCS, a serial (-parallel 1) run, and a fully parallel run.
+func TestCampaignDeterminism(t *testing.T) {
+	sp := testSpec(t)
+	produce := func(workers int) func() ([]byte, error) {
+		return func() ([]byte, error) {
+			rep, err := Run(sp, workers)
+			if err != nil {
+				return nil, err
+			}
+			return rep.JSON()
+		}
+	}
+	detcheck.Assert(t, produce(1), detcheck.Config[[]byte]{
+		Procs: []int{2},
+		Variants: []detcheck.Variant[[]byte]{
+			{Label: "parallel=2", Produce: produce(2)},
+			{Label: "parallel=GOMAXPROCS", Produce: produce(runtime.GOMAXPROCS(0))},
+			{Label: "parallel=default", Produce: produce(0)},
+		},
+	})
+}
+
+// TestCampaignReportShape checks the merged report carries the family
+// in grid order with axis values resolved per point.
+func TestCampaignReportShape(t *testing.T) {
+	sp := testSpec(t)
+	rep, err := Run(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Campaign != "campaign" || rep.Version != scenario.Version || rep.Seed != sp.Seed {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Axes) != 3 || rep.Axes[0].Key != "b" || rep.Axes[1].Key != "n" || rep.Axes[2].Key != "fs" {
+		t.Fatalf("axes: %+v", rep.Axes)
+	}
+	if len(rep.Points) != 8 {
+		t.Fatalf("%d points, want 8", len(rep.Points))
+	}
+	for i, p := range rep.Points {
+		want := sp.Grid.FleetSizes[p.Coords[1]]
+		if p.Size != want {
+			t.Fatalf("point %s: size %d, want %d", p.Label, p.Size, want)
+		}
+		if p.FaultSeed != sp.Grid.FaultSeeds[p.Coords[2]] {
+			t.Fatalf("point %s: fault seed %d", p.Label, p.FaultSeed)
+		}
+		if p.Report == nil || p.Report.Completed == 0 {
+			t.Fatalf("point %s: empty report", p.Label)
+		}
+		if p.Name != "campaign/"+p.Label {
+			t.Fatalf("point %d named %q", i, p.Name)
+		}
+		if p.RateIOPS != sp.Fleet.RateIOPS {
+			t.Fatalf("point %s: rate %v", p.Label, p.RateIOPS)
+		}
+	}
+	// Fleet-size axis must actually change outcomes: a 16-device point
+	// admits more work than its 8-device sibling.
+	var small, large int64
+	for _, p := range rep.Points {
+		if p.Label == "b0-n0-fs0" {
+			small = p.Report.Completed
+		}
+		if p.Label == "b0-n1-fs0" {
+			large = p.Report.Completed
+		}
+	}
+	if large <= small {
+		t.Fatalf("16-device point completed %d <= 8-device point %d", large, small)
+	}
+}
+
+// TestCampaignGridless: a spec without a grid runs as a single-point
+// campaign, so one CLI path serves both shapes.
+func TestCampaignGridless(t *testing.T) {
+	sp := scenario.BuiltIn("fleet")
+	sp.Runtime = scenario.Duration(150 * time.Millisecond)
+	rep, err := Run(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Axes) != 0 || len(rep.Points) != 1 {
+		t.Fatalf("gridless campaign: %d axes, %d points", len(rep.Axes), len(rep.Points))
+	}
+	if rep.Points[0].Label != "fleet" || rep.Points[0].Seed != sp.Seed {
+		t.Fatalf("gridless point: %+v", rep.Points[0])
+	}
+}
+
+// TestCampaignInvalidSpec: expansion failures surface with the
+// offending path, not a partial report.
+func TestCampaignInvalidSpec(t *testing.T) {
+	sp := scenario.BuiltIn("campaign")
+	sp.Grid.FleetSizes = []int{8, 9}
+	_, err := Run(sp, 1)
+	if err == nil || !strings.Contains(err.Error(), "grid point") {
+		t.Fatalf("invalid grid accepted: %v", err)
+	}
+}

@@ -18,9 +18,20 @@ type Config[T any] struct {
 	// Procs lists GOMAXPROCS values to pin for additional runs beyond
 	// the two at the ambient setting. Nil defaults to {1}.
 	Procs []int
+	// Variants are alternative producers that must agree with the
+	// reference — different worker counts, a serial fallback, a cached
+	// path. Each runs once at the ambient GOMAXPROCS.
+	Variants []Variant[T]
 	// Diff, when set, narrows a failure down to the first divergent
 	// element; reflect.DeepEqual already decided the results differ.
 	Diff func(t testing.TB, a, b T)
+}
+
+// Variant is one alternative way of producing the same result, labeled
+// for failure messages.
+type Variant[T any] struct {
+	Label   string
+	Produce func() (T, error)
 }
 
 // Assert runs produce twice at the ambient GOMAXPROCS and once at each
@@ -38,7 +49,7 @@ func Assert[T any](t testing.TB, produce func() (T, error), cfg Config[T]) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	check := func(label string) {
+	check := func(label string, produce func() (T, error)) {
 		t.Helper()
 		got, err := produce()
 		if err != nil {
@@ -52,12 +63,15 @@ func Assert[T any](t testing.TB, produce func() (T, error), cfg Config[T]) {
 		}
 	}
 
-	check("repeat")
+	check("repeat", produce)
 	for _, p := range procs {
 		prev := runtime.GOMAXPROCS(p)
 		func() {
 			defer runtime.GOMAXPROCS(prev)
-			check("GOMAXPROCS=" + strconv.Itoa(p))
+			check("GOMAXPROCS="+strconv.Itoa(p), produce)
 		}()
+	}
+	for _, v := range cfg.Variants {
+		check(v.Label, v.Produce)
 	}
 }

@@ -1,0 +1,106 @@
+// Package grid is the repository's single grid code path: every layer
+// that expands a cross-product of axes into a family of independent
+// runs — the measurement sweeps (internal/sweep), the scenario campaign
+// expansion (internal/scenario), and the campaign executor
+// (internal/campaign) — enumerates coordinates and schedules work
+// through this package instead of hand-rolling nested loops and worker
+// pools.
+//
+// Determinism contract: Coords returns coordinates in lexicographic
+// order, and Pool assigns task i to output slot i regardless of which
+// worker runs it or when, so callers that write results into
+// fixed-index slices get bit-identical output independent of host
+// scheduling.
+package grid
+
+import "sync"
+
+// Coords enumerates every coordinate of a grid with the given axis
+// lengths, in lexicographic order (the last axis varies fastest). An
+// empty lens yields the single empty coordinate; any zero-length axis
+// yields no coordinates.
+func Coords(lens []int) [][]int {
+	n, ok := Product(lens, 1<<30)
+	if !ok || n == 0 {
+		return nil
+	}
+	out := make([][]int, 0, n)
+	cur := make([]int, len(lens))
+	for {
+		c := make([]int, len(cur))
+		copy(c, cur)
+		out = append(out, c)
+		// Odometer increment from the last axis.
+		i := len(cur) - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < lens[i] {
+				break
+			}
+			cur[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// Product returns the expansion size of the axis lengths, reporting
+// !ok instead of a wrapped value when the product exceeds max (or any
+// axis length is negative). An empty lens has product 1.
+func Product(lens []int, max int) (int, bool) {
+	n := 1
+	for _, l := range lens {
+		if l < 0 {
+			return 0, false
+		}
+		if l != 0 && n > max/l {
+			return 0, false
+		}
+		n *= l
+	}
+	if n > max {
+		return 0, false
+	}
+	return n, true
+}
+
+// Pool runs fn(0), ..., fn(n-1) across at most workers goroutines and
+// returns when all calls have finished. Task indices are handed out in
+// order; fn must confine its writes to per-index state (slot i of a
+// results slice), which is what keeps grid runs bit-identical
+// regardless of scheduling. workers < 1 is clamped to 1, and a pool
+// never spawns more goroutines than tasks.
+func Pool(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,124 @@
+package grid
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCoordsLexicographic(t *testing.T) {
+	got := Coords([]int{2, 3})
+	want := [][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Coords(2,3) = %v, want %v", got, want)
+	}
+}
+
+func TestCoordsEdgeCases(t *testing.T) {
+	if got := Coords(nil); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("Coords(nil) = %v, want one empty coordinate", got)
+	}
+	if got := Coords([]int{3, 0, 2}); got != nil {
+		t.Fatalf("zero-length axis: got %v, want nil", got)
+	}
+}
+
+// TestCoordsMatchesBruteForce checks random small grids against nested
+// loops: same size, same order, strictly increasing lexicographically.
+func TestCoordsMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		lens := make([]int, 1+r.Intn(4))
+		n := 1
+		for i := range lens {
+			lens[i] = 1 + r.Intn(4)
+			n *= lens[i]
+		}
+		got := Coords(lens)
+		if len(got) != n {
+			t.Fatalf("lens %v: %d coords, want %d", lens, len(got), n)
+		}
+		for i := 1; i < len(got); i++ {
+			if !lexLess(got[i-1], got[i]) {
+				t.Fatalf("lens %v: coords not lexicographically increasing at %d: %v then %v",
+					lens, i, got[i-1], got[i])
+			}
+		}
+		for _, c := range got {
+			for ai, v := range c {
+				if v < 0 || v >= lens[ai] {
+					t.Fatalf("lens %v: coordinate %v out of range", lens, c)
+				}
+			}
+		}
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestProduct(t *testing.T) {
+	cases := []struct {
+		lens []int
+		max  int
+		n    int
+		ok   bool
+	}{
+		{nil, 10, 1, true},
+		{[]int{2, 3, 4}, 24, 24, true},
+		{[]int{2, 3, 4}, 23, 0, false},
+		{[]int{0, 5}, 10, 0, true},
+		{[]int{-1}, 10, 0, false},
+		{[]int{1 << 20, 1 << 20, 1 << 30}, 1 << 30, 0, false}, // would overflow without the guard
+	}
+	for _, tc := range cases {
+		n, ok := Product(tc.lens, tc.max)
+		if n != tc.n || ok != tc.ok {
+			t.Errorf("Product(%v, %d) = (%d, %v), want (%d, %v)", tc.lens, tc.max, n, ok, tc.n, tc.ok)
+		}
+	}
+}
+
+// TestPoolRunsEveryTaskOnce: every index runs exactly once at any
+// worker count, including the degenerate ones.
+func TestPoolRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 100} {
+		const n = 37
+		var runs [n]int32
+		Pool(n, workers, func(i int) { atomic.AddInt32(&runs[i], 1) })
+		for i, c := range runs {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	Pool(0, 4, func(i int) { t.Fatal("task ran for n=0") })
+}
+
+// TestPoolSlotDeterminism: results written to per-index slots are
+// identical regardless of worker count.
+func TestPoolSlotDeterminism(t *testing.T) {
+	task := func(i int) int { return i*i + 3 }
+	run := func(workers int) []int {
+		out := make([]int, 64)
+		Pool(len(out), workers, func(i int) { out[i] = task(i) })
+		return out
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 16} {
+		if got := run(w); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d results differ from serial run", w)
+		}
+	}
+	if !sort.IntsAreSorted(ref) {
+		t.Fatal("slot results out of order")
+	}
+}

@@ -127,6 +127,40 @@ var builtins = map[string]func() *Spec{
 			},
 		}
 	},
+	// campaign is the canonical three-axis grid campaign: budget
+	// schedule × fleet size × fault seed over a small mirrored fleet
+	// with one scripted dropout, 8 points, short horizon so CI can
+	// afford the whole family under -race.
+	"campaign": func() *Spec {
+		return &Spec{
+			Version:    Version,
+			Name:       "campaign",
+			Notes:      "Three-axis campaign (budget schedule x fleet size x fault seed): 8 fleet points with a scripted dropout, sized for CI. Run with `powerfleet campaign`.",
+			Experiment: "fleet",
+			Scale:      "quick",
+			Runtime:    Duration(250 * time.Millisecond),
+			Seed:       42,
+			FaultSeed:  1,
+			Fleet: &FleetSpec{
+				Size:     8,
+				Replicas: 2,
+				RateIOPS: 5000,
+				Faults: []FleetFault{
+					{
+						Device: "SSD2#00003",
+						Windows: []FaultWindow{
+							{Kind: "dropout", Start: Duration(80 * time.Millisecond), Dur: Duration(60 * time.Millisecond)},
+						},
+					},
+				},
+			},
+			Grid: &GridSpec{
+				Budgets:    []string{"0s:14.6pd", "0s:11pd,125ms:12.5pd"},
+				FleetSizes: []int{8, 16},
+				FaultSeeds: []uint64{1, 2},
+			},
+		}
+	},
 	// powercap is the examples/powercap device-and-workload shape: one
 	// SSD2 under saturating sequential IO, walked through its power
 	// states by the example.

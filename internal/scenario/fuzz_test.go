@@ -2,6 +2,9 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -20,10 +23,12 @@ func FuzzScenarioRoundTrip(f *testing.F) {
 		}
 		f.Add(b)
 	}
-	f.Add([]byte(`{"version":1,"name":"m","experiment":"all","seed":0}`))
-	f.Add([]byte(`{"version":1,"name":"w","experiment":"fig4","seed":9,` +
+	f.Add([]byte(`{"version":2,"name":"m","experiment":"all","seed":0}`))
+	f.Add([]byte(`{"version":2,"name":"w","experiment":"fig4","seed":9,` +
 		`"devices":[{"profile":"HDD","count":2}],` +
 		`"workload":{"op":"read","pattern":"rand","chunk_bytes":4096,"depth":8,"runtime":"1s"}}`))
+	f.Add([]byte(`{"version":2,"name":"g","experiment":"fleet","seed":0,` +
+		`"grid":{"budgets":["max","0s:11pd"],"fleet_sizes":[4,8],"fault_seeds":[1,2]}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sp, err := Parse(bytes.NewReader(data))
@@ -70,6 +75,124 @@ func FuzzScenarioRoundTrip(f *testing.F) {
 			if _, err := sp.BuildDevices(eng, sim.NewRNG(sp.Seed), sim.NewRNG(sp.FaultSeed)); err != nil {
 				t.Fatalf("validated devices failed to build: %v", err)
 			}
+		}
+
+		// Validated gridded specs always expand, and the family obeys
+		// the expansion contract (size, ordering, distinct seeds).
+		if sp.Grid != nil {
+			checkExpansion(t, sp)
+		}
+	})
+}
+
+// checkExpansion asserts the grid-expansion invariants for one
+// validated spec; FuzzScenarioRoundTrip and FuzzGridExpand share it.
+func checkExpansion(t *testing.T, sp *Spec) {
+	t.Helper()
+	pts, err := sp.Expand()
+	if err != nil {
+		t.Fatalf("validated gridded spec failed to expand: %v", err)
+	}
+	want := 1
+	for _, a := range sp.Grid.Axes() {
+		want *= a.Len
+	}
+	if len(pts) != want {
+		t.Fatalf("expanded to %d points, want axis product %d", len(pts), want)
+	}
+	seen := make(map[uint64]bool, len(pts))
+	for i, pt := range pts {
+		if pt.Spec.Grid != nil {
+			t.Fatalf("point %s still gridded", pt.Label)
+		}
+		if err := pt.Spec.Validate(); err != nil {
+			t.Fatalf("point %s does not validate: %v", pt.Label, err)
+		}
+		if i > 0 && !coordLess(pts[i-1].Coords, pt.Coords) {
+			t.Fatalf("points out of lexicographic order at %d", i)
+		}
+		if seen[pt.Spec.Seed] {
+			t.Fatalf("duplicate point seed %d at %s", pt.Spec.Seed, pt.Label)
+		}
+		seen[pt.Spec.Seed] = true
+	}
+}
+
+// FuzzGridExpand fuzzes the grid stanza in isolation: arbitrary axis
+// values either fail validation with a path-named error or expand into
+// a family satisfying the full expansion contract.
+func FuzzGridExpand(f *testing.F) {
+	f.Add(`{"budgets":["max","0s:11pd"],"fleet_sizes":[4,8],"fault_seeds":[1,2]}`, uint64(42))
+	f.Add(`{"rates":[3000,7000],"replicas":[1,2],"fault_fracs":[0,0.5]}`, uint64(7))
+	f.Add(`{"fleet_sizes":[]}`, uint64(0))
+	f.Add(`{"budgets":["0s:14.6pd","0s:14.60pd"]}`, uint64(1))
+	f.Fuzz(func(t *testing.T, gridJSON string, seed uint64) {
+		var g GridSpec
+		if err := json.Unmarshal([]byte(gridJSON), &g); err != nil {
+			return
+		}
+		sp := BuiltIn("fleet")
+		sp.Seed = seed
+		sp.Runtime = Duration(50 * time.Millisecond)
+		sp.Grid = &g
+		if err := sp.Validate(); err != nil {
+			if !strings.Contains(err.Error(), "scenario: ") {
+				t.Fatalf("rejection without a path: %v", err)
+			}
+			return
+		}
+		checkExpansion(t, sp)
+	})
+}
+
+// FuzzMigrate fuzzes the v1 to v2 migration against the canonical
+// oracle: whatever Migrate accepts must canonicalize to a parse fixed
+// point whose re-migration reports ErrAlreadyCurrent; whatever it
+// rejects must fail with an error, never a panic.
+func FuzzMigrate(f *testing.F) {
+	for _, name := range BuiltInNames() {
+		sp := BuiltIn(name)
+		if sp.Grid != nil {
+			continue
+		}
+		sp.Version = 1
+		b, err := json.Marshal(sp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"version":1,"name":"m","experiment":"all","seed":0}`))
+	f.Add([]byte(`{"version":1,"name":"m","experiment":"fleet","seed":0,"grid":{"fleet_sizes":[4]}}`))
+	f.Add([]byte(`hello`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Migrate(data)
+		if err != nil {
+			if sp != nil {
+				t.Fatal("Migrate returned both a spec and an error")
+			}
+			return
+		}
+		if sp.Version != Version {
+			t.Fatalf("migrated spec has version %d", sp.Version)
+		}
+		canon, err := sp.Canonical()
+		if err != nil {
+			t.Fatalf("migrated spec failed to canonicalize: %v", err)
+		}
+		sp2, err := Parse(bytes.NewReader(canon))
+		if err != nil {
+			t.Fatalf("migrated canonical form does not parse: %v\n%s", err, canon)
+		}
+		canon2, err := sp2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("migrate -> canonical -> parse not a fixed point:\n%s\n%s", canon, canon2)
+		}
+		if _, err := Migrate(canon); !errors.Is(err, ErrAlreadyCurrent) {
+			t.Fatalf("re-migrating migrated spec: %v", err)
 		}
 	})
 }

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrAlreadyCurrent reports that Migrate was handed a spec already at
+// the current schema version; callers treat it as "nothing to do", not
+// a failure.
+var ErrAlreadyCurrent = errors.New("scenario: spec is already at the current version")
+
+// Migrate rewrites an old-version spec document to the current schema
+// and returns the validated result; Canonical on it is the migrated
+// encoding. Version 2 added only the grid stanza, so migrating a
+// version-1 spec is a version bump — by construction the migrated spec
+// builds the identical devices, jobs, and serving configuration as the
+// original (the migration tests pin this).
+//
+// Decoding is as strict as Parse: unknown fields, trailing data, and
+// semantic violations fail loudly with the offending path. A spec
+// already at the current version returns ErrAlreadyCurrent.
+func Migrate(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("scenario: migrate: %v", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: migrate: trailing data after spec")
+	}
+	switch sp.Version {
+	case Version:
+		return nil, ErrAlreadyCurrent
+	case 1:
+		// The grid stanza did not exist in version 1, so a document
+		// claiming version 1 while carrying one is lying about its
+		// version — refuse rather than guess.
+		if sp.Grid != nil {
+			return nil, pathErr("grid", "version-1 spec carries a version-2 grid stanza; fix the version field instead of migrating")
+		}
+		sp.Version = Version
+	default:
+		return nil, pathErr("version", "cannot migrate spec version %d (this build migrates version 1 to %d)", sp.Version, Version)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, fmt.Errorf("migrated spec invalid: %w", err)
+	}
+	return &sp, nil
+}

@@ -36,8 +36,9 @@ import (
 
 // Version is the spec schema version this package reads and writes.
 // Parse rejects any other version so stale tooling fails loudly
-// instead of silently dropping fields.
-const Version = 1
+// instead of silently dropping fields. Version 2 added the campaign
+// grid stanza; Migrate rewrites version-1 specs in place.
+const Version = 2
 
 // Size ceilings keep a malformed (or adversarial, under fuzzing) spec
 // from ballooning validation or materialization — a spec that passes
@@ -80,6 +81,10 @@ type Spec struct {
 	Fleet *FleetSpec `json:"fleet,omitempty"`
 	// Chaos parameterizes the chaos experiment's four phases.
 	Chaos *ChaosSpec `json:"chaos,omitempty"`
+	// Grid is the campaign stanza (new in version 2): each populated
+	// axis lists values one fleet knob sweeps over, and Expand resolves
+	// the spec into the named cross-product family of point specs.
+	Grid *GridSpec `json:"grid,omitempty"`
 }
 
 // DeviceSpec is one catalog device (or a homogeneous group of them)
@@ -364,6 +369,9 @@ func pathErr(path, format string, args ...any) error {
 // "dropped"`.
 func (s *Spec) Validate() error {
 	if s.Version != Version {
+		if s.Version == 1 {
+			return pathErr("version", "spec version 1 is outdated (this build reads version %d); rewrite it with `powerfleet scenario -migrate`", Version)
+		}
 		return pathErr("version", "unsupported spec version %d (this build reads version %d)", s.Version, Version)
 	}
 	if strings.TrimSpace(s.Name) == "" {
@@ -397,6 +405,18 @@ func (s *Spec) Validate() error {
 	}
 	if s.Chaos != nil {
 		if err := s.Chaos.validate("chaos"); err != nil {
+			return err
+		}
+	}
+	if s.Grid != nil {
+		if err := s.Grid.validate("grid", s); err != nil {
+			return err
+		}
+		// Walk the expansion so cross-axis combinations that are
+		// individually fine but jointly invalid (a fleet size not
+		// divisible by a replica count, say) fail here with the point
+		// named. Points carry no grid, so this cannot recurse.
+		if _, err := s.expandPoints(); err != nil {
 			return err
 		}
 	}
@@ -558,10 +578,13 @@ func (f *FleetSpec) validate(path string) error {
 	if len(f.Faults) == 0 {
 		return nil
 	}
-	names := f.instanceNames(size, replicas)
 	for i, ff := range f.Faults {
 		fpath := fmt.Sprintf("%s.faults[%d]", path, i)
-		if !names[ff.Device] {
+		// O(1) inverse lookup instead of enumerating every instance
+		// name: grid validation re-checks fault scripts per point, so
+		// this path must stay cheap at maxFleetSize × maxCampaignPoints.
+		prof, idx, err := serve.ParseInstanceName(ff.Device)
+		if err != nil || idx >= size || f.profile(idx, replicas) != prof {
 			return pathErr(fpath+".device", "no fleet instance named %q (names are profile#index, e.g. %q)",
 				ff.Device, serve.InstanceName(f.profile(0, replicas), 0))
 		}
@@ -585,16 +608,6 @@ func (f *FleetSpec) profile(i, replicas int) string {
 		profiles = []string{"SSD2"}
 	}
 	return profiles[(i/replicas)%len(profiles)]
-}
-
-// instanceNames enumerates every fleet instance name the resolved spec
-// will materialize, for fault-script validation.
-func (f *FleetSpec) instanceNames(size, replicas int) map[string]bool {
-	names := make(map[string]bool, size)
-	for i := 0; i < size; i++ {
-		names[serve.InstanceName(f.profile(i, replicas), i)] = true
-	}
-	return names
 }
 
 func (c *ChaosSpec) validate(path string) error {

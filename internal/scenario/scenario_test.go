@@ -130,17 +130,18 @@ func TestDefault(t *testing.T) {
 }
 
 func TestParseStrict(t *testing.T) {
-	minimal := `{"version":1,"name":"m","experiment":"all","seed":0}`
+	minimal := `{"version":2,"name":"m","experiment":"all","seed":0}`
 	cases := []struct {
 		name, body, wantErr string
 	}{
-		{"unknown field", `{"version":1,"name":"m","experiment":"all","seed":0,"sizee":3}`, "sizee"},
-		{"nested unknown field", `{"version":1,"name":"m","experiment":"fleet","seed":0,"fleet":{"sizee":8}}`, "sizee"},
+		{"unknown field", `{"version":2,"name":"m","experiment":"all","seed":0,"sizee":3}`, "sizee"},
+		{"nested unknown field", `{"version":2,"name":"m","experiment":"fleet","seed":0,"fleet":{"sizee":8}}`, "sizee"},
 		{"trailing data", minimal + `{}`, "trailing data"},
 		{"wrong version", `{"version":99,"name":"m","experiment":"all","seed":0}`, "version"},
-		{"missing name", `{"version":1,"experiment":"all","seed":0}`, "name"},
-		{"numeric duration", `{"version":1,"name":"m","experiment":"all","seed":0,"runtime":250}`, "string"},
-		{"negative duration", `{"version":1,"name":"m","experiment":"all","seed":0,"runtime":"-5s"}`, "negative"},
+		{"stale v1 hints migrate", `{"version":1,"name":"m","experiment":"all","seed":0}`, "-migrate"},
+		{"missing name", `{"version":2,"experiment":"all","seed":0}`, "name"},
+		{"numeric duration", `{"version":2,"name":"m","experiment":"all","seed":0,"runtime":250}`, "string"},
+		{"negative duration", `{"version":2,"name":"m","experiment":"all","seed":0,"runtime":"-5s"}`, "negative"},
 		{"not json", `hello`, "scenario"},
 	}
 	for _, tc := range cases {

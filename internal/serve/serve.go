@@ -27,10 +27,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"wattio/internal/fault"
+	"wattio/internal/grid"
 	"wattio/internal/stats"
 	"wattio/internal/workload"
 )
@@ -260,18 +260,24 @@ func (s Spec) normalized() (Spec, error) {
 	return s, nil
 }
 
-// ParseSchedule parses a budget schedule flag: comma-separated
-// "duration:watts" steps, e.g. "0s:640,1s:448". A "pd" suffix on the
-// watts makes the value per-device, scaled by the fleet size:
-// "0s:14pd" means size × 14 W. Step times must be strictly increasing;
-// empty schedules, duplicate times, and backward steps are rejected
-// with the offending segment named — scenario validation surfaces
-// these messages verbatim.
-func ParseSchedule(text string, size int) ([]BudgetStep, error) {
+// rawStep is one structurally-parsed schedule step, before any fleet
+// size is applied: the step time, the watts value as written, and
+// whether the "pd" (per-device) suffix was present.
+type rawStep struct {
+	at     time.Duration
+	watts  float64
+	perDev bool
+}
+
+// parseScheduleSteps is the structural half of schedule parsing, shared
+// by ParseSchedule (which scales per-device steps by a fleet size) and
+// ScheduleKey (which must stay size-free so two spellings of the same
+// schedule compare equal at every fleet size).
+func parseScheduleSteps(text string) ([]rawStep, error) {
 	if strings.TrimSpace(text) == "" {
 		return nil, fmt.Errorf("serve: empty budget schedule")
 	}
-	var out []BudgetStep
+	var out []rawStep
 	for _, part := range strings.Split(text, ",") {
 		at, watts, ok := strings.Cut(strings.TrimSpace(part), ":")
 		if !ok {
@@ -290,20 +296,65 @@ func ParseSchedule(text string, size int) ([]BudgetStep, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: budget step %q: bad watts %q", part, watts)
 		}
-		if perDev {
-			w *= float64(size)
-		}
 		if n := len(out); n > 0 {
 			switch {
-			case d == out[n-1].At:
+			case d == out[n-1].at:
 				return nil, fmt.Errorf("serve: budget step %q repeats step time %v", part, d)
-			case d < out[n-1].At:
-				return nil, fmt.Errorf("serve: budget step %q goes backward (%v after %v)", part, d, out[n-1].At)
+			case d < out[n-1].at:
+				return nil, fmt.Errorf("serve: budget step %q goes backward (%v after %v)", part, d, out[n-1].at)
 			}
 		}
-		out = append(out, BudgetStep{At: d, FleetW: w})
+		out = append(out, rawStep{at: d, watts: w, perDev: perDev})
 	}
 	return out, nil
+}
+
+// ParseSchedule parses a budget schedule flag: comma-separated
+// "duration:watts" steps, e.g. "0s:640,1s:448". A "pd" suffix on the
+// watts makes the value per-device, scaled by the fleet size:
+// "0s:14pd" means size × 14 W. Step times must be strictly increasing;
+// empty schedules, duplicate times, and backward steps are rejected
+// with the offending segment named — scenario validation surfaces
+// these messages verbatim.
+func ParseSchedule(text string, size int) ([]BudgetStep, error) {
+	steps, err := parseScheduleSteps(text)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BudgetStep, len(steps))
+	for i, st := range steps {
+		w := st.watts
+		if st.perDev {
+			w *= float64(size)
+		}
+		out[i] = BudgetStep{At: st.at, FleetW: w}
+	}
+	return out, nil
+}
+
+// ScheduleKey returns the canonical re-encoding of a budget schedule
+// flag — fixed duration rendering, minimal float form, the "pd" suffix
+// preserved — so two spellings of the same schedule ("0s:14.60pd" and
+// " 0s:14.6pd") produce the same key at every fleet size. Scenario grid
+// validation uses it to reject duplicate budget-axis values.
+func ScheduleKey(text string) (string, error) {
+	steps, err := parseScheduleSteps(text)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, st := range steps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(st.at.String())
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(st.watts, 'g', -1, 64))
+		if st.perDev {
+			b.WriteString("pd")
+		}
+	}
+	return b.String(), nil
 }
 
 // Interval is one control-period slice of the merged power accounting.
@@ -365,26 +416,9 @@ func Run(spec Spec) (*Report, error) {
 
 	results := make([]*shardResult, sp.Shards)
 	errs := make([]error, sp.Shards)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > sp.Shards {
-		workers = sp.Shards
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = runShard(&sp, i, ranges[i])
-			}
-		}()
-	}
-	for i := 0; i < sp.Shards; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	grid.Pool(sp.Shards, runtime.GOMAXPROCS(0), func(i int) {
+		results[i], errs[i] = runShard(&sp, i, ranges[i])
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)

@@ -263,6 +263,82 @@ func TestParseSchedule(t *testing.T) {
 	}
 }
 
+// TestScheduleKey pins the canonical re-encoding the scenario grid
+// layer uses for duplicate detection: spelling variants of one schedule
+// collapse to the same key, distinct schedules never do, and the key is
+// independent of fleet size (the "pd" suffix is preserved, not scaled).
+func TestScheduleKey(t *testing.T) {
+	same := [][2]string{
+		{"0s:14.6pd", " 0s:14.60pd"},
+		{"0s:640,1s:448.5", "0ms:640.0, 1000ms:448.50"},
+		{"500ms:12.5pd", "0.5s:12.5pd"},
+	}
+	for _, pair := range same {
+		a, err := ScheduleKey(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ScheduleKey(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("ScheduleKey(%q)=%q != ScheduleKey(%q)=%q", pair[0], a, pair[1], b)
+		}
+	}
+	distinct := []string{"0s:14.6pd", "0s:14.6", "0s:14.7pd", "0s:14.6pd,1s:11pd"}
+	seen := map[string]string{}
+	for _, s := range distinct {
+		k, err := ScheduleKey(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("distinct schedules %q and %q share key %q", prev, s, k)
+		}
+		seen[k] = s
+	}
+	if _, err := ScheduleKey("0s:junk"); err == nil {
+		t.Error("malformed schedule produced a key")
+	}
+	// The key itself re-parses and re-keys to a fixed point.
+	k, err := ScheduleKey("0ms:640.0, 1000ms:448.50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ScheduleKey(k)
+	if err != nil {
+		t.Fatalf("key %q does not re-parse: %v", k, err)
+	}
+	if k != k2 {
+		t.Errorf("key not a fixed point: %q -> %q", k, k2)
+	}
+}
+
+// TestParseInstanceName pins the InstanceName inverse: every generated
+// name round-trips, and anything InstanceName could not have produced
+// is rejected.
+func TestParseInstanceName(t *testing.T) {
+	for _, tc := range []struct {
+		profile string
+		i       int
+	}{{"SSD2", 0}, {"SSD2", 3}, {"HDD", 99999}, {"EVO", 123456}} {
+		name := InstanceName(tc.profile, tc.i)
+		p, i, err := ParseInstanceName(name)
+		if err != nil || p != tc.profile || i != tc.i {
+			t.Errorf("ParseInstanceName(%q) = (%q, %d, %v), want (%q, %d)", name, p, i, err, tc.profile, tc.i)
+		}
+	}
+	for _, bad := range []string{
+		"", "SSD2", "SSD2#", "#00003", "SSD2#3", "SSD2#003", "SSD2#-0003",
+		"SSD2#00003x", "SSD2#0x003", "SSD2##00003", "ssd2 #00003 ",
+	} {
+		if _, _, err := ParseInstanceName(bad); err == nil {
+			t.Errorf("ParseInstanceName(%q) accepted", bad)
+		}
+	}
+}
+
 // TestReplicaFailover checks that dropout faults inside replica groups
 // route IO to the surviving replicas instead of stalling the lane.
 func TestReplicaFailover(t *testing.T) {

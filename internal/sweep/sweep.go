@@ -10,12 +10,12 @@ package sweep
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"wattio/internal/catalog"
 	"wattio/internal/core"
 	"wattio/internal/device"
+	"wattio/internal/grid"
 	"wattio/internal/hdd"
 	"wattio/internal/measure"
 	"wattio/internal/sim"
@@ -124,22 +124,25 @@ type cell struct {
 }
 
 // Run executes the grid and returns one point per combination, in
-// (power state, op, pattern, chunk, depth) nesting order. Cells are
-// independent simulations (each gets a fresh engine, device, and rig),
-// so they run in parallel across CPUs; results are deterministic and
+// (power state, op, pattern, chunk, depth) nesting order — the
+// lexicographic coordinate order of internal/grid, which enumerates and
+// schedules the cells. Cells are independent simulations (each gets a
+// fresh engine, device, and rig), so they run in parallel across CPUs;
+// results land in fixed index slots and are deterministic and
 // order-stable regardless of scheduling.
 func Run(spec Spec) ([]Point, error) {
 	spec.defaults()
-	var cells []cell
-	for _, ps := range spec.PowerStates {
-		for _, op := range spec.Ops {
-			for _, pat := range spec.Patterns {
-				for _, chunk := range spec.Chunks {
-					for _, depth := range spec.Depths {
-						cells = append(cells, cell{ps, op, pat, chunk, depth})
-					}
-				}
-			}
+	coords := grid.Coords([]int{
+		len(spec.PowerStates), len(spec.Ops), len(spec.Patterns), len(spec.Chunks), len(spec.Depths),
+	})
+	cells := make([]cell, len(coords))
+	for i, c := range coords {
+		cells[i] = cell{
+			ps:    spec.PowerStates[c[0]],
+			op:    spec.Ops[c[1]],
+			pat:   spec.Patterns[c[2]],
+			chunk: spec.Chunks[c[3]],
+			depth: spec.Depths[c[4]],
 		}
 	}
 	out := make([]Point, len(cells))
@@ -158,26 +161,13 @@ func Run(spec Spec) ([]Point, error) {
 	cBusy := reg.Counter("sweep_busy_host_ns_total")
 	reg.Gauge("sweep_workers").Set(int64(workers))
 
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				c := cells[i]
-				cellStart := time.Now()
-				out[i], errs[i] = runOne(spec, c.ps, c.op, c.pat, c.chunk, c.depth)
-				cBusy.Add(time.Since(cellStart).Nanoseconds())
-				cCells.Inc()
-			}
-		}()
-	}
-	for i := range cells {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	grid.Pool(len(cells), workers, func(i int) {
+		c := cells[i]
+		cellStart := time.Now()
+		out[i], errs[i] = runOne(spec, c.ps, c.op, c.pat, c.chunk, c.depth)
+		cBusy.Add(time.Since(cellStart).Nanoseconds())
+		cCells.Inc()
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Run the canonical three-axis campaign (budget schedule x fleet size x
+# fault seed) and emit its merged report as JSON.
+#
+#   scripts/bench_campaign.sh [out.json]
+#
+# The campaign runs twice — serially (-parallel 1) and on the default
+# worker pool — and the two output trees are diffed before anything is
+# published: the merged report is only a valid artifact if it is
+# byte-identical at any worker count. CI uploads one BENCH_campaign.json
+# per run, so per-point throughput/latency/power regressions show up as
+# a step in the series. The campaign's stdout table is kept as the log.
+set -eu
+
+out=${1:-BENCH_campaign.json}
+log=${out%.json}.log
+
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+go run ./cmd/powerfleet campaign -scenario scenarios/campaign.json \
+	-parallel 1 -out "$dir/serial" | tee "$log"
+go run ./cmd/powerfleet campaign -scenario scenarios/campaign.json \
+	-out "$dir/parallel" >> "$log"
+
+# Determinism gate: serial and parallel runs must agree byte for byte,
+# merged report and every per-point report alike.
+diff -r "$dir/serial" "$dir/parallel"
+
+cp "$dir/parallel/BENCH_campaign.json" "$out"
+
+echo "wrote $out ($(wc -c < "$out") bytes)"
