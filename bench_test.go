@@ -18,6 +18,7 @@ import (
 	"wattio/internal/experiments"
 	"wattio/internal/hdd"
 	"wattio/internal/measure"
+	"wattio/internal/scenario"
 	"wattio/internal/serve"
 	"wattio/internal/sim"
 	"wattio/internal/ssd"
@@ -239,6 +240,52 @@ func BenchmarkFleetServe(b *testing.B) {
 	b.ReportMetric(rep.AvgPowerW, "fleet_avg_W")
 	b.ReportMetric(rep.WorstOverW, "fleet_worst_over_W")
 	b.ReportMetric(float64(rep.Rejected), "fleet_rejected")
+}
+
+// BenchmarkMesoServe pair-runs a 10k-device steady fleet with the
+// mesoscale tier off and then on, and reports the wall-clock speedup,
+// the dispatched-event reduction (the deterministic proxy CI gates
+// on), and the energy agreement between the two representations;
+// scripts/bench_meso.sh turns the metrics into BENCH_meso.json.
+// The arrival rate is turned down from the builtin scenario's so the
+// pure event-driven baseline stays affordable at this fleet size.
+func BenchmarkMesoServe(b *testing.B) {
+	sp := scenario.BuiltIn("meso")
+	sp.Fleet.Size = 10000
+	sp.Fleet.RateIOPS = 500
+	spec, err := sp.ServeSpec(2 * time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := spec
+	base.Meso = false
+	var pure, hyb *serve.Report
+	var pureNS, hybNS float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if pure, err = serve.Run(base); err != nil {
+			b.Fatal(err)
+		}
+		pureNS = float64(time.Since(t0))
+		t0 = time.Now()
+		if hyb, err = serve.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+		hybNS = float64(time.Since(t0))
+	}
+	diff := (hyb.AvgPowerW - pure.AvgPowerW) / pure.AvgPowerW
+	if diff < 0 {
+		diff = -diff
+	}
+	driftOK := 0.0
+	if hyb.MesoDriftOK {
+		driftOK = 1
+	}
+	b.ReportMetric(pureNS/hybNS, "meso_speedup_x")
+	b.ReportMetric(float64(pure.Events)/float64(hyb.Events), "meso_event_ratio_x")
+	b.ReportMetric(diff*100, "meso_energy_diff_pct")
+	b.ReportMetric(float64(hyb.MesoParkedPeriods), "meso_parked_periods")
+	b.ReportMetric(driftOK, "meso_drift_ok")
 }
 
 // --- Ablations -----------------------------------------------------------

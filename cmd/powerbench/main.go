@@ -74,6 +74,9 @@ func run(argv []string, stdout, errw io.Writer) int {
 		fleetRate   = fs.Float64("rate", 0, "fleet experiment: arrival rate in IOPS per active device (0 = scenario/default)")
 		fleetBudget = fs.String("budget", "", "fleet experiment: budget schedule, e.g. \"0s:640,1s:448\" (\"pd\" suffix = per device)")
 		fleetFaults = fs.Float64("fleetfaults", 0, "fleet experiment: fraction of devices given an injected fault window")
+		fleetMeso   = fs.Bool("meso", false, "fleet experiment: serve steady lanes through the mesoscale analytic tier")
+		mesoDwell   = fs.Int("mesodwell", 0, "meso tier: steady control periods before a lane dehydrates (0 = default)")
+		mesoDrift   = fs.Float64("mesodrift", 0, "meso tier: sentinel drift tolerance fraction (0 = default)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -135,6 +138,9 @@ func run(argv []string, stdout, errw io.Writer) int {
 		RateIOPS:  *fleetRate,
 		Budget:    *fleetBudget,
 		FaultFrac: *fleetFaults,
+		Meso:      *fleetMeso,
+		MesoDwell: *mesoDwell,
+		MesoDrift: *mesoDrift,
 	}
 
 	var todo []experiments.Experiment

@@ -84,9 +84,15 @@ func (c *BudgetController) Apply(budgetW float64) (core.Assignment, error) {
 
 		a := core.Assignment{Configs: map[string]core.Sample{}}
 		if len(free) > 0 {
-			sub, err := core.NewFleet(free...)
-			if err != nil {
-				return core.Assignment{}, err
+			// With nothing stuck the free set is the whole fleet: query
+			// the long-lived Fleet so its cached frontier serves every
+			// re-plan instead of rebuilding the merge per Apply.
+			sub := c.fleet
+			if len(stuck) > 0 {
+				var err error
+				if sub, err = core.NewFleet(free...); err != nil {
+					return core.Assignment{}, err
+				}
 			}
 			got, ok := sub.BestUnderPower(budgetW - reservedW)
 			if !ok {

@@ -12,7 +12,23 @@ import (
 // that combination.
 type Fleet struct {
 	models []*Model
+	// frontier is the lazily built fleet frontier. Models never change
+	// after construction, so the pairwise merge runs once per Fleet no
+	// matter how many queries follow (a budget re-plan per control step
+	// would otherwise rebuild it every time).
+	frontier []*planNode
 }
+
+// maxFrontierPoints bounds the merged frontier carried between pairwise
+// combination steps. Homogeneous fleets in the hundreds of devices grow
+// frontiers quadratic in device count — millions of points that a budget
+// query never distinguishes. Thinning to this many points (always
+// keeping both endpoints, so the cheapest feasible plan and the peak-
+// throughput plan are exact) makes the build O(devices × cap); the
+// chosen plan stays within one thinning step of optimal. Small fleets
+// never hit the cap, so the exhaustive property tests exercise the
+// exact frontier.
+const maxFrontierPoints = 1024
 
 // NewFleet builds a fleet over the given models.
 func NewFleet(models ...*Model) (*Fleet, error) {
@@ -41,77 +57,156 @@ type Assignment struct {
 	TotalMBps   float64
 }
 
-// ParetoFrontier computes the fleet-wide Pareto frontier: assignments of
-// one Pareto-optimal configuration per device such that no other
-// assignment has both lower total power and higher total throughput.
-//
-// It combines per-device frontiers pairwise (a pruned Minkowski sum),
-// so cost is bounded by the product of adjacent frontier sizes after
-// pruning, not by the full configuration cross-product.
-func (f *Fleet) ParetoFrontier() []Assignment {
-	acc := []Assignment{{Configs: map[string]Sample{}}}
+// planNode is one point on the merged frontier: this device's choice
+// plus a parent link to the choices of the models merged before it.
+// Assignments materialize into maps only when a query returns one —
+// carrying maps through the merge itself cost a full map copy per
+// candidate point and made large-fleet planning quartic.
+type planNode struct {
+	powerW float64
+	mbps   float64
+	parent *planNode
+	device string
+	sample Sample
+}
+
+// build computes (once) the fleet frontier as parent-linked nodes,
+// combining per-device frontiers pairwise — a pruned Minkowski sum, so
+// cost is bounded by the capped frontier size times the device count,
+// not by the full configuration cross-product.
+func (f *Fleet) build() []*planNode {
+	if f.frontier != nil {
+		return f.frontier
+	}
+	acc := []*planNode{{}}
 	for _, m := range f.models {
 		frontier := m.ParetoFrontier()
-		next := make([]Assignment, 0, len(acc)*len(frontier))
+		next := make([]*planNode, 0, len(acc)*len(frontier))
 		for _, a := range acc {
 			for _, s := range frontier {
-				cfgs := make(map[string]Sample, len(a.Configs)+1)
-				for k, v := range a.Configs {
-					cfgs[k] = v
-				}
-				cfgs[m.Device()] = s
-				next = append(next, Assignment{
-					Configs:     cfgs,
-					TotalPowerW: a.TotalPowerW + s.PowerW,
-					TotalMBps:   a.TotalMBps + s.ThroughputMBps,
+				next = append(next, &planNode{
+					powerW: a.powerW + s.PowerW,
+					mbps:   a.mbps + s.ThroughputMBps,
+					parent: a,
+					device: m.Device(),
+					sample: s,
 				})
 			}
 		}
 		acc = pruneDominated(next)
 	}
+	f.frontier = acc
 	return acc
 }
 
-// pruneDominated keeps only assignments on the power-throughput Pareto
-// frontier, sorted by increasing power.
-func pruneDominated(as []Assignment) []Assignment {
-	sort.Slice(as, func(i, j int) bool {
-		if as[i].TotalPowerW != as[j].TotalPowerW {
-			return as[i].TotalPowerW < as[j].TotalPowerW
-		}
-		return as[i].TotalMBps > as[j].TotalMBps
-	})
-	var out []Assignment
-	best := -1.0
-	for _, a := range as {
-		if a.TotalMBps > best {
-			out = append(out, a)
-			best = a.TotalMBps
-		}
+// materialize walks the node's parent chain into a full Assignment.
+func (n *planNode) materialize() Assignment {
+	a := Assignment{
+		Configs:     map[string]Sample{},
+		TotalPowerW: n.powerW,
+		TotalMBps:   n.mbps,
+	}
+	for ; n != nil && n.device != ""; n = n.parent {
+		a.Configs[n.device] = n.sample
+	}
+	return a
+}
+
+// ParetoFrontier computes the fleet-wide Pareto frontier: assignments of
+// one Pareto-optimal configuration per device such that no other
+// assignment has both lower total power and higher total throughput.
+func (f *Fleet) ParetoFrontier() []Assignment {
+	nodes := f.build()
+	out := make([]Assignment, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.materialize()
 	}
 	return out
+}
+
+// pruneDominated keeps only points on the power-throughput Pareto
+// frontier, sorted by increasing power, then thins the survivors to the
+// frontier cap (endpoints always kept, interior evenly sampled).
+func pruneDominated(ns []*planNode) []*planNode {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].powerW != ns[j].powerW {
+			return ns[i].powerW < ns[j].powerW
+		}
+		return ns[i].mbps > ns[j].mbps
+	})
+	out := ns[:0]
+	best := -1.0
+	for _, n := range ns {
+		if n.mbps > best {
+			out = append(out, n)
+			best = n.mbps
+		}
+	}
+	if len(out) <= maxFrontierPoints {
+		return out
+	}
+	thinned := make([]*planNode, 0, maxFrontierPoints)
+	last := len(out) - 1
+	for i := 0; i < maxFrontierPoints-1; i++ {
+		thinned = append(thinned, out[i*last/(maxFrontierPoints-1)])
+	}
+	return append(thinned, out[last])
 }
 
 // BestUnderPower returns the frontier assignment with the highest total
 // throughput whose total power fits the budget. ok is false when even
 // the lowest-power assignment exceeds the budget.
 func (f *Fleet) BestUnderPower(budgetW float64) (best Assignment, ok bool) {
-	for _, a := range f.ParetoFrontier() {
-		if a.TotalPowerW <= budgetW {
-			best, ok = a, true // frontier is sorted by power, tput increases
+	// Fast path: a budget that admits every device at its peak-throughput
+	// point — the "never binds" default schedule — selects the frontier's
+	// top endpoint, which is exactly the sum of per-model peaks (each
+	// model's frontier strictly increases in both axes, so the all-peak
+	// combination uniquely maximizes throughput, and thinning keeps
+	// endpoints exact). Answering it directly skips the merged-frontier
+	// build, the dominant planning cost at 10⁵-device fleet scale. The
+	// sums accumulate in the same model order as the pairwise merge, so
+	// the returned totals are bit-identical to the slow path's.
+	if a, ok := f.peakAssignment(budgetW); ok {
+		return a, true
+	}
+	var pick *planNode
+	for _, n := range f.build() {
+		if n.powerW <= budgetW {
+			pick = n // frontier is sorted by power, tput increases
 		} else {
 			break
 		}
 	}
-	return best, ok
+	if pick == nil {
+		return Assignment{}, false
+	}
+	return pick.materialize(), true
+}
+
+// peakAssignment returns every device at its peak-throughput operating
+// point, or ok=false when that assignment exceeds the budget (a binding
+// budget needs the real frontier).
+func (f *Fleet) peakAssignment(budgetW float64) (Assignment, bool) {
+	a := Assignment{Configs: make(map[string]Sample, len(f.models))}
+	for _, m := range f.models {
+		fr := m.ParetoFrontier()
+		s := fr[len(fr)-1]
+		a.Configs[m.Device()] = s
+		a.TotalPowerW += s.PowerW
+		a.TotalMBps += s.ThroughputMBps
+	}
+	if a.TotalPowerW > budgetW {
+		return Assignment{}, false
+	}
+	return a, true
 }
 
 // MinPowerMeeting returns the frontier assignment with the lowest total
 // power delivering at least the given total throughput.
 func (f *Fleet) MinPowerMeeting(tputMBps float64) (best Assignment, ok bool) {
-	for _, a := range f.ParetoFrontier() {
-		if a.TotalMBps >= tputMBps {
-			return a, true
+	for _, n := range f.build() {
+		if n.mbps >= tputMBps {
+			return n.materialize(), true
 		}
 	}
 	return Assignment{}, false

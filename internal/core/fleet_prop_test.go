@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -183,6 +184,29 @@ func TestBestUnderPowerOptimal(t *testing.T) {
 				t.Fatalf("seed %d budget %v: throughput %v, brute-force optimum %v",
 					seed, budget, best.TotalMBps, refTput)
 			}
+		}
+	}
+}
+
+// TestBestUnderPowerPeakFastPath pins the unconstrained-budget fast
+// path to the frontier endpoint it replaces: same per-device operating
+// points and bitwise-identical totals (both fold sums in model order).
+func TestBestUnderPowerPeakFastPath(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		f := randFleet(t, r)
+		fast, ok := f.BestUnderPower(1e9)
+		if !ok {
+			t.Fatalf("seed %d: unconstrained budget infeasible", seed)
+		}
+		nodes := f.build()
+		slow := nodes[len(nodes)-1].materialize()
+		if fast.TotalPowerW != slow.TotalPowerW || fast.TotalMBps != slow.TotalMBps {
+			t.Fatalf("seed %d: fast path (%v W, %v MB/s) != frontier endpoint (%v W, %v MB/s)",
+				seed, fast.TotalPowerW, fast.TotalMBps, slow.TotalPowerW, slow.TotalMBps)
+		}
+		if !reflect.DeepEqual(fast.Configs, slow.Configs) {
+			t.Fatalf("seed %d: fast path configs differ from frontier endpoint", seed)
 		}
 	}
 }

@@ -50,6 +50,12 @@ type FleetOptions struct {
 	// FaultFrac is the fraction of devices given an injected fault
 	// window, drawn from FaultSeed.
 	FaultFrac float64
+	// Meso enables the mesoscale aggregation tier (hybrid analytic
+	// serving of steady lanes); MesoDwell and MesoDrift override its
+	// dwell-period and drift-tolerance thresholds when non-zero.
+	Meso      bool
+	MesoDwell int
+	MesoDrift float64
 }
 
 // Paper is the published methodology's scale.

@@ -43,6 +43,20 @@ func FleetSpec(s Scale) (serve.Spec, error) {
 	if o.FaultFrac != 0 {
 		sp.Fleet.FaultFrac = o.FaultFrac
 	}
+	if o.Meso {
+		if sp.Fleet.Meso == nil {
+			sp.Fleet.Meso = &scenario.MesoSpec{}
+		}
+		sp.Fleet.Meso.Enable = true
+	}
+	if sp.Fleet.Meso != nil {
+		if o.MesoDwell != 0 {
+			sp.Fleet.Meso.DwellPeriods = o.MesoDwell
+		}
+		if o.MesoDrift != 0 {
+			sp.Fleet.Meso.DriftTolFrac = o.MesoDrift
+		}
+	}
 	sp.Seed, sp.FaultSeed = s.Seed, s.FaultSeed
 	return sp.ServeSpec(s.Runtime)
 }
@@ -81,6 +95,11 @@ func runFleet(s Scale, w io.Writer) error {
 		rep.Replans, rep.Infeasible, rep.GovSteps, rep.GovRetries, rep.GovFailures, rep.Compensations)
 	fmt.Fprintf(w, "faults: %d devices faulted, %d failovers, %d wakes on demand\n",
 		rep.Faulted, rep.Failovers, rep.WakesOnDemand)
+	if spec.Meso {
+		fmt.Fprintf(w, "meso: %d dehydrations / %d rehydrations, %d parked periods, %.1f J analytic, drift %s (worst %.4f)\n",
+			rep.MesoDehydrations, rep.MesoRehydrations, rep.MesoParkedPeriods, rep.MesoAggJ,
+			okStr(rep.MesoDriftOK), rep.MesoWorstDriftFrac)
+	}
 	fmt.Fprintf(w, "invariants: power-cap probe %s (worst window %.1f W)\n", okStr(rep.CapOK), rep.CapWorstW)
 
 	if !rep.CapOK {
@@ -88,6 +107,9 @@ func runFleet(s Scale, w io.Writer) error {
 	}
 	if !rep.TrackOK {
 		return fmt.Errorf("fleet: achieved power missed budget by %.1f W", rep.WorstOverW)
+	}
+	if spec.Meso && !rep.MesoDriftOK {
+		return fmt.Errorf("fleet: mesoscale drift probe fired (worst %.4f)", rep.MesoWorstDriftFrac)
 	}
 	return nil
 }

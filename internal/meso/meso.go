@@ -1,0 +1,168 @@
+// Package meso is the analytic half of the mesoscale aggregation tier:
+// closed-form stand-ins for replica groups that have settled into a
+// steady operating point and no longer need event-by-event simulation.
+//
+// The serving engine (internal/serve) watches each lane for a steady
+// fingerprint — no rejections, no failovers, settled power states, a
+// near-empty queue — and after a dwell threshold calibrates the lane's
+// operating point from its own mechanistic history: the measured draw
+// over the last steady control period, and the measured quiesced draw
+// of the same devices in the same power states. The lane then parks
+// here. While parked, the devices still exist and their lazy energy
+// meters keep accruing exact idle energy, so the Pool accounts only the
+// calibrated *dynamic* delta (PowerW − IdleW) and the synthetic IO
+// counts; nothing is double-counted. Unparking settles the closed-form
+// totals back into the mechanistic ledgers.
+//
+// Everything here is pure arithmetic on virtual time — no engine, no
+// RNG — so a parked lane costs zero kernel events and the tier cannot
+// perturb determinism: for a fixed spec the settlements are identical
+// at any host parallelism.
+package meso
+
+import (
+	"fmt"
+	"time"
+)
+
+// OperatingPoint is the calibrated steady state a parked lane is
+// assumed to hold: its total electrical draw while serving, the draw
+// its quiesced devices keep accruing mechanistically, and the offered
+// load it absorbs.
+type OperatingPoint struct {
+	// PowerW is the lane's calibrated total draw at the operating
+	// point, measured over its last steady control period.
+	PowerW float64
+	// IdleW is the draw the lane's devices accrue through their own
+	// meters while parked (awake-idle in their held power states),
+	// measured over a quiesced period. The Pool accounts the dynamic
+	// difference PowerW − IdleW; the meters keep the rest.
+	IdleW float64
+	// RateIOPS is the lane's offered arrival rate; parked spans credit
+	// IO counts at exactly this rate.
+	RateIOPS float64
+	// BytesPerIO converts synthetic IO counts to bytes.
+	BytesPerIO int64
+}
+
+// dynW is the dynamic draw the pool accounts above the meters,
+// clamped non-negative: a calibration quirk (measured idle above
+// measured serving draw) must not make energy run backward.
+func (op OperatingPoint) dynW() float64 {
+	if d := op.PowerW - op.IdleW; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Settlement is what one parked span owes the mechanistic ledgers when
+// the lane rehydrates: synthetic IO counts at the operating point's
+// rate, the bytes they moved, and the dynamic energy above idle.
+type Settlement struct {
+	IOs   int64
+	Bytes int64
+	// DynJ is the dynamic energy (above the meters' idle accrual) the
+	// span consumed.
+	DynJ float64
+	// Dur is the span's length.
+	Dur time.Duration
+	// PredictedW is the operating point's total draw — what a sentinel
+	// re-measurement compares its fresh mechanistic reading against.
+	PredictedW float64
+}
+
+type agg struct {
+	op     OperatingPoint
+	since  time.Duration
+	parked bool
+	// carry is the fractional IO left over from previous spans, so the
+	// credited count never drifts from rate × total parked time no
+	// matter how spans are sliced by rehydrations.
+	carry float64
+}
+
+// Pool holds the parked aggregates of one shard. It is not safe for
+// concurrent use; shards are single-threaded by construction.
+type Pool struct {
+	aggs   []agg
+	parked int
+
+	// O(1) dynamic-energy bookkeeping: settled spans plus, for live
+	// spans, sumDynW·now − offset where offset = Σ dynW·since.
+	settledJ float64
+	sumDynW  float64
+	offsetJ  float64
+}
+
+// NewPool returns a pool for n lanes, all hydrated.
+func NewPool(n int) *Pool {
+	return &Pool{aggs: make([]agg, n)}
+}
+
+// Park dehydrates lane i at virtual time now onto the given operating
+// point. The lane must not already be parked.
+func (p *Pool) Park(i int, op OperatingPoint, now time.Duration) {
+	a := &p.aggs[i]
+	if a.parked {
+		panic(fmt.Sprintf("meso: lane %d parked twice", i))
+	}
+	a.op = op
+	a.since = now
+	a.parked = true
+	p.parked++
+	p.sumDynW += op.dynW()
+	p.offsetJ += op.dynW() * a.since.Seconds()
+}
+
+// Unpark rehydrates lane i at virtual time now and returns the span's
+// settlement. The lane must be parked and now must not precede its
+// park time.
+func (p *Pool) Unpark(i int, now time.Duration) Settlement {
+	a := &p.aggs[i]
+	if !a.parked {
+		panic(fmt.Sprintf("meso: lane %d unparked while hydrated", i))
+	}
+	if now < a.since {
+		panic(fmt.Sprintf("meso: lane %d unparked at %v, before its park time %v", i, now, a.since))
+	}
+	dur := now - a.since
+	sec := dur.Seconds()
+	exact := a.op.RateIOPS*sec + a.carry
+	ios := int64(exact)
+	a.carry = exact - float64(ios)
+	dynJ := a.op.dynW() * sec
+
+	a.parked = false
+	p.parked--
+	p.sumDynW -= a.op.dynW()
+	p.offsetJ -= a.op.dynW() * a.since.Seconds()
+	p.settledJ += dynJ
+
+	return Settlement{
+		IOs:        ios,
+		Bytes:      ios * a.op.BytesPerIO,
+		DynJ:       dynJ,
+		Dur:        dur,
+		PredictedW: a.op.PowerW,
+	}
+}
+
+// Parked reports whether lane i is currently parked.
+func (p *Pool) Parked(i int) bool { return p.aggs[i].parked }
+
+// ParkedCount returns how many lanes are currently parked.
+func (p *Pool) ParkedCount() int { return p.parked }
+
+// Op returns lane i's operating point; meaningful only while parked.
+func (p *Pool) Op(i int) OperatingPoint { return p.aggs[i].op }
+
+// DynEnergyJ returns the total dynamic energy the pool accounts up to
+// virtual time now: settled spans plus the live accrual of every
+// currently-parked lane. now must be at or after every live park time
+// (virtual time is monotone, so any caller reading the engine clock
+// satisfies this). It is O(1) and monotone in now, so a shard's
+// EnergyJ (devices + pool) stays a valid source for the sliding-window
+// cap probe while lanes are parked.
+func (p *Pool) DynEnergyJ(now time.Duration) float64 {
+	return p.settledJ + p.sumDynW*now.Seconds() - p.offsetJ
+}

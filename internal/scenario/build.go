@@ -68,6 +68,11 @@ func (s *Spec) ServeSpec(horizon time.Duration) (serve.Spec, error) {
 		FaultFrac:       f.FaultFrac,
 		CheckInvariants: !f.SkipInvariants,
 	}
+	if m := f.Meso; m != nil && m.Enable {
+		sp.Meso = true
+		sp.MesoDwellPeriods = m.DwellPeriods
+		sp.MesoDriftTolFrac = m.DriftTolFrac
+	}
 	switch f.Budget {
 	case "max":
 		// nil schedule → serve's never-binding maximum-power default.

@@ -161,6 +161,28 @@ var builtins = map[string]func() *Spec{
 			},
 		}
 	},
+	// meso drives the mesoscale-aggregation experiment: a steady fleet
+	// under a never-binding budget, long enough that the dehydration
+	// transitions amortize below the 1% energy-agreement gate. The
+	// experiment runs it twice, tier off then on, and compares.
+	"meso": func() *Spec {
+		return &Spec{
+			Version:    Version,
+			Name:       "meso",
+			Notes:      "Mesoscale aggregation tier: steady fleet pair-run (pure event-driven vs hybrid analytic) with event-reduction, energy-agreement, and sentinel-drift gates. Equivalent to `powerbench -exp meso`.",
+			Experiment: "meso",
+			Scale:      "quick",
+			Runtime:    Duration(10 * time.Second),
+			Seed:       42,
+			FaultSeed:  1,
+			Fleet: &FleetSpec{
+				Size:     64,
+				RateIOPS: 3000,
+				Budget:   "max",
+				Meso:     &MesoSpec{Enable: true},
+			},
+		}
+	},
 	// powercap is the examples/powercap device-and-workload shape: one
 	// SSD2 under saturating sequential IO, walked through its power
 	// states by the example.

@@ -45,7 +45,7 @@ const Version = 2
 // Validate must always be cheap enough to build.
 const (
 	maxDeviceCount = 4096
-	maxFleetSize   = 1 << 16
+	maxFleetSize   = 1 << 20
 	maxRolloutDim  = 1 << 16
 )
 
@@ -183,6 +183,26 @@ type FleetSpec struct {
 	Faults []FleetFault `json:"faults,omitempty"`
 	// SkipInvariants disables the per-shard cap/clock probes.
 	SkipInvariants bool `json:"skip_invariants,omitempty"`
+	// Meso enables the mesoscale aggregation tier: steady lanes leave
+	// the event-driven simulation for a calibrated analytic aggregate
+	// and rehydrate at control boundaries. Off when absent.
+	Meso *MesoSpec `json:"meso,omitempty"`
+}
+
+// MesoSpec parameterizes the hybrid mesoscale tier (serve.Spec's Meso
+// fields). The zero thresholds take serve's defaults.
+type MesoSpec struct {
+	// Enable turns the tier on; the other fields are ignored without it
+	// so a spec can carry tuned thresholds while toggling the tier.
+	Enable bool `json:"enable"`
+	// DwellPeriods is how many consecutive steady control periods a
+	// lane must show before it dehydrates. Default 2.
+	DwellPeriods int `json:"dwell_periods,omitempty"`
+	// DriftTolFrac is the sentinel drift tolerance: a rehydrated
+	// sentinel lane whose re-measured draw disagrees with its
+	// calibrated operating point by more than this fraction bars the
+	// lane from parking again and fails the drift probe. Default 0.10.
+	DriftTolFrac float64 `json:"drift_tol_frac,omitempty"`
 }
 
 // FleetFault scripts fault windows onto one named fleet instance.
@@ -573,6 +593,14 @@ func (f *FleetSpec) validate(path string) error {
 	if f.Budget != "" && f.Budget != "max" {
 		if _, err := serve.ParseSchedule(f.Budget, size); err != nil {
 			return pathErr(path+".budget", "%v", err)
+		}
+	}
+	if m := f.Meso; m != nil {
+		if m.DwellPeriods < 0 {
+			return pathErr(path+".meso.dwell_periods", "negative dwell %d", m.DwellPeriods)
+		}
+		if m.DriftTolFrac < 0 {
+			return pathErr(path+".meso.drift_tol_frac", "negative drift tolerance %v", m.DriftTolFrac)
 		}
 	}
 	if len(f.Faults) == 0 {

@@ -185,9 +185,11 @@ func TestValidateRejectsWithPath(t *testing.T) {
 		{"unknown fleet instance", func(s *Spec) { s.Fleet.Faults[0].Device = "SSD2#99999" }, "fleet.faults[0].device"},
 		{"empty fault windows", func(s *Spec) { s.Fleet.Faults[0].Windows = nil }, "fleet.faults[0].windows"},
 		{"indivisible replicas", func(s *Spec) { s.Fleet.Size = 10; s.Fleet.Replicas = 4; s.Fleet.Faults = nil }, "fleet.replicas"},
-		{"oversize fleet", func(s *Spec) { s.Fleet.Size = 1 << 20; s.Fleet.Faults = nil }, "fleet.size"},
+		{"oversize fleet", func(s *Spec) { s.Fleet.Size = 1<<20 + 2; s.Fleet.Faults = nil }, "fleet.size"},
 		{"fault frac", func(s *Spec) { s.Fleet.FaultFrac = 1.5 }, "fleet.fault_frac"},
 		{"bad arrival", func(s *Spec) { s.Fleet.Arrival = "bursty" }, "fleet.arrival"},
+		{"negative meso dwell", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, DwellPeriods: -1} }, "fleet.meso.dwell_periods"},
+		{"negative meso drift", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, DriftTolFrac: -0.1} }, "fleet.meso.drift_tol_frac"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -256,6 +258,36 @@ func TestServeSpecDefaults(t *testing.T) {
 	}
 	if ss.Budget != nil {
 		t.Fatalf("budget \"max\" should leave the schedule nil, got %+v", ss.Budget)
+	}
+}
+
+// TestServeSpecMeso pins the meso stanza's mapping: absent or disabled
+// leaves the serving tier off, enabled carries the thresholds through.
+func TestServeSpecMeso(t *testing.T) {
+	sp := &Spec{Version: Version, Name: "m", Experiment: "meso", Seed: 1,
+		Fleet: &FleetSpec{Budget: "max"}}
+	ss, err := sp.ServeSpec(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Meso {
+		t.Fatal("meso on without a stanza")
+	}
+
+	sp.Fleet.Meso = &MesoSpec{DwellPeriods: 5, DriftTolFrac: 0.2}
+	if ss, err = sp.ServeSpec(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ss.Meso || ss.MesoDwellPeriods != 0 {
+		t.Fatalf("disabled stanza leaked into serve spec: %+v", ss)
+	}
+
+	sp.Fleet.Meso.Enable = true
+	if ss, err = sp.ServeSpec(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Meso || ss.MesoDwellPeriods != 5 || ss.MesoDriftTolFrac != 0.2 {
+		t.Fatalf("meso stanza mapping: %+v", ss)
 	}
 }
 

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wattio/internal/fault"
+)
+
+// mergeSpec builds a normalized one-shard spec with a 1 s horizon and
+// 100 ms control period, so merge produces ten intervals.
+func mergeSpec(t *testing.T, budget []BudgetStep) Spec {
+	t.Helper()
+	sp, err := Spec{
+		Size:    4,
+		Shards:  1,
+		Horizon: time.Second,
+		Budget:  budget,
+	}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// flatResult is a synthetic shard result drawing a constant watts for
+// every control interval.
+func flatResult(sp *Spec, watts float64) *shardResult {
+	n := int((sp.Horizon + sp.ControlPeriod - 1) / sp.ControlPeriod)
+	r := &shardResult{CapOK: true, MesoDriftOK: true}
+	r.IntervalEnergyJ = make([]float64, n)
+	for i := range r.IntervalEnergyJ {
+		r.IntervalEnergyJ[i] = watts * sp.ControlPeriod.Seconds()
+	}
+	return r
+}
+
+func checkedFlags(ivs []Interval) []bool {
+	out := make([]bool, len(ivs))
+	for i, iv := range ivs {
+		out[i] = iv.Checked
+	}
+	return out
+}
+
+// TestGraceExactlyOneIntervalPerStep pins the budget-step grace
+// semantics: every step exempts exactly one control interval from
+// tracking — the interval whose start falls in the step's one-period
+// settle window — regardless of how the step aligns with interval
+// boundaries. Before the fix the overlap rule graced both intervals
+// touching the window, so the mid-interval case below left interval 2
+// unchecked as well.
+func TestGraceExactlyOneIntervalPerStep(t *testing.T) {
+	cases := []struct {
+		name    string
+		stepAt  time.Duration
+		graced  []int // interval indices expected unchecked (beyond interval 0)
+		checked []int // indices that must be checked
+	}{
+		// A step exactly on an interval boundary graces that interval
+		// and nothing else.
+		{"boundary-aligned", 300 * time.Millisecond, []int{3}, []int{1, 2, 4, 5}},
+		// A mid-interval step graces only the next interval; its own
+		// interval is checked against the time-weighted budget.
+		{"mid-interval", 250 * time.Millisecond, []int{3}, []int{1, 2, 4, 5}},
+		// A step whose settle window reaches exactly the final interval
+		// start graces that final interval, nothing more.
+		{"window-reaches-final-start", 850 * time.Millisecond, []int{9}, []int{7, 8}},
+		// A step inside the final interval has no following interval to
+		// grace; the interval containing it takes the grace (the old
+		// "not at all" corner of a pure window rule).
+		{"final-interval", 950 * time.Millisecond, []int{9}, []int{8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := mergeSpec(t, []BudgetStep{
+				{At: 0, FleetW: 100},
+				{At: tc.stepAt, FleetW: 60},
+			})
+			rep := merge(&sp, []*shardResult{flatResult(&sp, 50)})
+			if len(rep.Intervals) != 10 {
+				t.Fatalf("intervals = %d, want 10", len(rep.Intervals))
+			}
+			// The t=0 step always graces interval 0.
+			if rep.Intervals[0].Checked {
+				t.Errorf("interval 0 not graced for the initial plan application")
+			}
+			for _, k := range tc.graced {
+				if rep.Intervals[k].Checked {
+					t.Errorf("interval %d checked, want graced (flags %v)", k, checkedFlags(rep.Intervals))
+				}
+			}
+			for _, k := range tc.checked {
+				if !rep.Intervals[k].Checked {
+					t.Errorf("interval %d graced, want checked (flags %v)", k, checkedFlags(rep.Intervals))
+				}
+			}
+			total := 0
+			for _, iv := range rep.Intervals {
+				if !iv.Checked {
+					total++
+				}
+			}
+			if total != 2 { // t=0 step + the case's step: one interval each
+				t.Errorf("graced %d intervals in total, want 2 (flags %v)", total, checkedFlags(rep.Intervals))
+			}
+		})
+	}
+}
+
+// TestMidIntervalStepBudgetWeighted pins the companion half of the
+// grace fix: the interval a step lands inside is checked against the
+// time-weighted scheduled budget, and intervals without an interior
+// step keep the exact step value (no float drift from a degenerate
+// weighting).
+func TestMidIntervalStepBudgetWeighted(t *testing.T) {
+	sp := mergeSpec(t, []BudgetStep{
+		{At: 0, FleetW: 100},
+		{At: 250 * time.Millisecond, FleetW: 60},
+	})
+	rep := merge(&sp, []*shardResult{flatResult(&sp, 50)})
+	want := 0.5*100 + 0.5*60 // step splits [200ms, 300ms) in half
+	if got := rep.Intervals[2].BudgetW; math.Abs(got-want) > 1e-9 {
+		t.Errorf("split interval BudgetW = %v, want %v", got, want)
+	}
+	if got := rep.Intervals[1].BudgetW; got != 100 {
+		t.Errorf("pre-step interval BudgetW = %v, want exactly 100", got)
+	}
+	if got := rep.Intervals[5].BudgetW; got != 60 {
+		t.Errorf("post-step interval BudgetW = %v, want exactly 60", got)
+	}
+
+	// The weighted check binds: constant draw above the weighted budget
+	// (plus tolerance) in the split interval must fail tracking even
+	// though it is under the pre-step budget.
+	hot := flatResult(&sp, 50)
+	hot.IntervalEnergyJ[2] = 95 * sp.ControlPeriod.Seconds() // 95 W > 80*1.1, < 100
+	rep = merge(&sp, []*shardResult{hot})
+	if rep.TrackOK {
+		t.Errorf("draw above the weighted budget in a split interval passed tracking")
+	}
+}
+
+// TestThroughputUsesSimulatedTime pins the ThroughputMBps fix: the rate
+// divides by the virtual time the run actually covered (horizon plus
+// post-horizon drain), not the nominal horizon. Before the fix a run
+// whose drain ran past the horizon reported bytes/horizon, overstating
+// the rate.
+func TestThroughputUsesSimulatedTime(t *testing.T) {
+	sp := mergeSpec(t, nil)
+	res := flatResult(&sp, 50)
+	res.BytesCompleted = 3_000_000
+	res.EndAt = 2 * time.Second // drain ran one full horizon past the end
+	rep := merge(&sp, []*shardResult{res})
+	if rep.SimulatedDur != 2*time.Second {
+		t.Fatalf("SimulatedDur = %v, want 2s", rep.SimulatedDur)
+	}
+	if want := 1.5; math.Abs(rep.ThroughputMBps-want) > 1e-9 {
+		t.Fatalf("ThroughputMBps = %v, want %v (bytes over simulated time)", rep.ThroughputMBps, want)
+	}
+
+	// Without drain past the horizon, SimulatedDur is the horizon and
+	// the rate is unchanged from the old definition.
+	res = flatResult(&sp, 50)
+	res.BytesCompleted = 3_000_000
+	res.EndAt = sp.Horizon
+	rep = merge(&sp, []*shardResult{res})
+	if rep.SimulatedDur != sp.Horizon || math.Abs(rep.ThroughputMBps-3.0) > 1e-9 {
+		t.Fatalf("horizon-bounded run: dur %v, %v MB/s, want 1s, 3", rep.SimulatedDur, rep.ThroughputMBps)
+	}
+}
+
+// TestDropoutDrainPastHorizon drives the throughput fix end to end: an
+// unreplicated lane with a dropout window that outlives the horizon
+// holds its in-flight IO until the window ends, so the drain pushes the
+// engine clock past the horizon and the report's throughput must be
+// measured over that longer window.
+func TestDropoutDrainPastHorizon(t *testing.T) {
+	sp := Spec{
+		Size:     2,
+		Replicas: 1,
+		Shards:   1,
+		Horizon:  400 * time.Millisecond,
+		RateIOPS: 2000,
+		Seed:     42,
+		Faults: []DeviceFault{{
+			Device: InstanceName("SSD2", 0),
+			Windows: []fault.Window{
+				{Kind: fault.Dropout, Start: 200 * time.Millisecond, Dur: 400 * time.Millisecond},
+			},
+		}},
+	}
+	rep, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no IO completed")
+	}
+	// The dropout window ends at 600 ms, 200 ms past the horizon; the
+	// held IO completes after that.
+	if rep.SimulatedDur <= 600*time.Millisecond {
+		t.Fatalf("SimulatedDur = %v, want > 600ms (dropout releases held IO past the horizon)", rep.SimulatedDur)
+	}
+	want := float64(rep.BytesCompleted) / 1e6 / rep.SimulatedDur.Seconds()
+	if math.Abs(rep.ThroughputMBps-want) > 1e-9 {
+		t.Fatalf("ThroughputMBps = %v, want %v = bytes / simulated time (not the %v horizon)",
+			rep.ThroughputMBps, want, sp.Horizon)
+	}
+}
+
+// TestBudgetAtEdgeCases pins budgetAt's semantics at the boundaries: a
+// step binds exactly at its own time, single-step schedules are
+// constant, and times before the first step take the first step's
+// value (the only schedules Run accepts start at 0, but ParseSchedule
+// also accepts later-starting schedules for tooling, and both layers
+// must agree on what they mean).
+func TestBudgetAtEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched []BudgetStep
+		t     time.Duration
+		want  float64
+	}{
+		{"single step at 0", []BudgetStep{{0, 100}}, 0, 100},
+		{"single step, later query", []BudgetStep{{0, 100}}, time.Hour, 100},
+		{"exactly at a step time", []BudgetStep{{0, 100}, {100 * time.Millisecond, 60}}, 100 * time.Millisecond, 60},
+		{"one ns before a step", []BudgetStep{{0, 100}, {100 * time.Millisecond, 60}}, 100*time.Millisecond - 1, 100},
+		{"one ns after a step", []BudgetStep{{0, 100}, {100 * time.Millisecond, 60}}, 100*time.Millisecond + 1, 60},
+		{"first step after 0, earlier query", []BudgetStep{{500 * time.Millisecond, 80}}, 0, 80},
+		{"first step after 0, at step", []BudgetStep{{500 * time.Millisecond, 80}, {time.Second, 40}}, 500 * time.Millisecond, 80},
+		{"last step binds to the end", []BudgetStep{{0, 100}, {1 * time.Second, 60}, {2 * time.Second, 40}}, 3 * time.Second, 40},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := budgetAt(tc.sched, tc.t); got != tc.want {
+				t.Fatalf("budgetAt(%v) = %v, want %v", tc.t, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseScheduleEdgeCases covers the structural corners the grid and
+// CLI layers rely on: a query exactly at a parsed step time yields that
+// step's value, schedules whose first step is after t=0 parse and
+// extend the first value backward, and single-step schedules are
+// constant — asserting ParseSchedule and budgetAt agree on the chosen
+// semantics.
+func TestParseScheduleEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		text    string
+		size    int
+		queries map[time.Duration]float64
+	}{
+		{"single step", "0s:640", 0, map[time.Duration]float64{
+			0: 640, time.Second: 640,
+		}},
+		{"single pd step", "0s:10pd", 8, map[time.Duration]float64{
+			0: 80, time.Minute: 80,
+		}},
+		{"exactly at each step", "0s:640,1s:448", 0, map[time.Duration]float64{
+			0: 640, time.Second: 448, time.Second - 1: 640, time.Second + 1: 448,
+		}},
+		{"first step after zero", "500ms:80", 0, map[time.Duration]float64{
+			0: 80, 250 * time.Millisecond: 80, 500 * time.Millisecond: 80, time.Second: 80,
+		}},
+		{"first step after zero, two steps", "500ms:80,1s:40", 0, map[time.Duration]float64{
+			0: 80, 500 * time.Millisecond: 80, 999 * time.Millisecond: 80, time.Second: 40,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched, err := ParseSchedule(tc.text, tc.size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for at, want := range tc.queries {
+				if got := budgetAt(sched, at); got != want {
+					t.Errorf("budgetAt(parse(%q), %v) = %v, want %v", tc.text, at, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAvgBudgetW pins the weighted-budget helper directly.
+func TestAvgBudgetW(t *testing.T) {
+	sched := []BudgetStep{{0, 100}, {250 * time.Millisecond, 60}, {275 * time.Millisecond, 20}}
+	cases := []struct {
+		name       string
+		start, end time.Duration
+		want       float64
+	}{
+		{"no interior step", 0, 100 * time.Millisecond, 100},
+		{"start exactly at step", 250 * time.Millisecond, 275 * time.Millisecond, 60},
+		{"one interior step", 200 * time.Millisecond, 300 * time.Millisecond, 0.5*100 + 0.25*60 + 0.25*20},
+		{"two interior steps", 240 * time.Millisecond, 280 * time.Millisecond, 0.25*100 + 0.625*60 + 0.125*20},
+		{"after the last step", time.Second, 2 * time.Second, 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := avgBudgetW(sched, tc.start, tc.end); math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("avgBudgetW(%v, %v) = %v, want %v", tc.start, tc.end, got, tc.want)
+			}
+		})
+	}
+}

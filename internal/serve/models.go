@@ -18,9 +18,9 @@ import (
 // (§3.3) and the system that consumes it (§4); the gap between the two
 // is what the per-device governors absorb.
 type planPoint struct {
-	ps      int
-	powerW  float64
-	tputMB  float64
+	ps     int
+	powerW float64
+	tputMB float64
 }
 
 var planningTable = map[string][]planPoint{

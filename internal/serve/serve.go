@@ -111,6 +111,23 @@ type Spec struct {
 	// CheckInvariants attaches per-shard sliding-window power-cap and
 	// clock-monotonicity probes; violations fail the run.
 	CheckInvariants bool
+
+	// Meso enables the mesoscale aggregation tier: a replica group
+	// whose serving fingerprint holds steady for MesoDwellPeriods
+	// control periods leaves event-driven simulation for an analytic
+	// aggregate calibrated from its own measured draw, rehydrating on
+	// budget steps, for periodic sentinel re-measurements, and at the
+	// horizon. Fault-injected lanes never park. MesoDriftTolFrac bounds
+	// how far a sentinel re-measurement may disagree with the
+	// aggregate's calibrated draw before the lane is barred from
+	// parking again (and the report's MesoDriftOK trips). The default
+	// tolerance (dwell 2 periods, tolerance 0.10) sits well above the
+	// few percent of Poisson arrival noise a dwell-window average
+	// carries, and well below the shifts that matter — a rate change, a
+	// fault onset, or a re-plan moves a lane's draw far more than 10%.
+	Meso             bool
+	MesoDwellPeriods int
+	MesoDriftTolFrac float64
 }
 
 // DeviceFault scripts fault windows onto one named fleet instance.
@@ -220,6 +237,18 @@ func (s Spec) normalized() (Spec, error) {
 	}
 	if s.FaultFrac < 0 || s.FaultFrac > 1 {
 		return s, fmt.Errorf("serve: fault fraction %v out of [0, 1]", s.FaultFrac)
+	}
+	if s.MesoDwellPeriods == 0 {
+		s.MesoDwellPeriods = 2
+	}
+	if s.MesoDwellPeriods < 1 {
+		return s, fmt.Errorf("serve: meso dwell %d periods must be positive", s.MesoDwellPeriods)
+	}
+	if s.MesoDriftTolFrac == 0 {
+		s.MesoDriftTolFrac = 0.10
+	}
+	if s.MesoDriftTolFrac < 0 {
+		return s, fmt.Errorf("serve: meso drift tolerance %v must be non-negative", s.MesoDriftTolFrac)
 	}
 	if len(s.Budget) == 0 {
 		var maxW float64
@@ -359,13 +388,19 @@ func ScheduleKey(text string) (string, error) {
 
 // Interval is one control-period slice of the merged power accounting.
 type Interval struct {
-	Start     time.Duration
-	Dur       time.Duration
+	Start time.Duration
+	Dur   time.Duration
+	// BudgetW is the scheduled budget averaged over the interval: equal
+	// to the step in force at Start for most intervals, time-weighted
+	// across the transition for an interval a budget step lands inside.
 	BudgetW   float64
 	AchievedW float64
-	// Checked is false for intervals overlapping a budget-step
-	// transition (including the initial plan application at t=0),
-	// which get a one-period grace before tracking binds.
+	// Checked is false for the one interval per budget step that falls
+	// inside the step's settle window (see stepGraces): tracking binds
+	// again exactly one control period after each transition, no matter
+	// how the step aligns with interval boundaries. The initial plan
+	// application at t=0 gets the same grace — devices enter the horizon
+	// in their power-on state with full burst allowances.
 	Checked bool
 }
 
@@ -380,17 +415,44 @@ type Report struct {
 	ThroughputMBps                         float64
 	LatP50, LatP99, LatMax                 time.Duration
 
+	// SimulatedDur is the virtual time the run actually covered: the
+	// horizon, extended by whatever post-horizon drain the slowest shard
+	// needed to complete its in-flight IO (a dropout window releasing
+	// held requests can push this well past the horizon). ThroughputMBps
+	// divides by it, not the nominal horizon.
+	SimulatedDur time.Duration
+	// Events is the total number of kernel events dispatched across all
+	// shards — the deterministic measure of mechanistic simulation work
+	// (wall clock is host-dependent; this is not).
+	Events uint64
+
 	Intervals  []Interval
 	AvgPowerW  float64
 	WorstOverW float64
 	TrackOK    bool
 
-	GovSteps, GovRetries, GovFailures int
+	GovSteps, GovRetries, GovFailures  int
 	Replans, Compensations, Infeasible int
 	Failovers, WakesOnDemand           int
 
 	CapOK     bool
 	CapWorstW float64
+
+	// Mesoscale-tier accounting (zero unless Spec.Meso is set).
+	// MesoDehydrations counts lane transitions out of event-driven
+	// simulation into the analytic aggregate; MesoRehydrations the
+	// reverse. MesoParkedPeriods counts lane×control-period units served
+	// analytically, and MesoAggJ is the dynamic (above-idle) energy the
+	// aggregates accounted. MesoWorstDriftFrac is the worst relative
+	// disagreement any sentinel re-measurement observed between an
+	// aggregate's calibrated power and the mechanistic re-simulation;
+	// MesoDriftOK is whether every observation stayed within the spec's
+	// drift tolerance.
+	MesoDehydrations, MesoRehydrations int
+	MesoParkedPeriods                  int
+	MesoAggJ                           float64
+	MesoWorstDriftFrac                 float64
+	MesoDriftOK                        bool
 }
 
 // Run executes the serving engine and returns the merged report.
@@ -431,11 +493,13 @@ func Run(spec Spec) (*Report, error) {
 // has a fixed association order and the report stays bit-identical.
 func merge(sp *Spec, results []*shardResult) *Report {
 	r := &Report{
-		Devices: sp.Size,
-		Groups:  sp.Size / sp.Replicas,
-		Shards:  sp.Shards,
-		TrackOK: true,
-		CapOK:   true,
+		Devices:      sp.Size,
+		Groups:       sp.Size / sp.Replicas,
+		Shards:       sp.Shards,
+		TrackOK:      true,
+		CapOK:        true,
+		MesoDriftOK:  true,
+		SimulatedDur: sp.Horizon,
 	}
 	var lat []time.Duration
 	nIntervals := len(results[0].IntervalEnergyJ)
@@ -466,6 +530,20 @@ func merge(sp *Spec, results []*shardResult) *Report {
 			energy[k] += e
 		}
 		lat = append(lat, s.Latencies...)
+		if s.EndAt > r.SimulatedDur {
+			r.SimulatedDur = s.EndAt
+		}
+		r.Events += s.Events
+		r.MesoDehydrations += s.MesoDehydrations
+		r.MesoRehydrations += s.MesoRehydrations
+		r.MesoParkedPeriods += s.MesoParkedPeriods
+		r.MesoAggJ += s.MesoAggJ
+		if s.MesoWorstDriftFrac > r.MesoWorstDriftFrac {
+			r.MesoWorstDriftFrac = s.MesoWorstDriftFrac
+		}
+		if !s.MesoDriftOK {
+			r.MesoDriftOK = false
+		}
 	}
 
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
@@ -478,9 +556,14 @@ func merge(sp *Spec, results []*shardResult) *Report {
 		r.LatP99 = time.Duration(stats.Quantile(fl, 0.99))
 		r.LatMax = lat[n-1]
 	}
-	r.ThroughputMBps = float64(r.BytesCompleted) / 1e6 / sp.Horizon.Seconds()
+	// Throughput is bytes over the virtual time the run actually covered,
+	// not the nominal horizon: a fault-heavy run whose drain releases held
+	// IO past the horizon served those bytes over the longer window, and
+	// dividing by the horizon would overstate the rate.
+	r.ThroughputMBps = float64(r.BytesCompleted) / 1e6 / r.SimulatedDur.Seconds()
 
 	var totalE float64
+	lastStart := time.Duration(nIntervals-1) * sp.ControlPeriod
 	for k := 0; k < nIntervals; k++ {
 		start := time.Duration(k) * sp.ControlPeriod
 		end := start + sp.ControlPeriod
@@ -490,16 +573,12 @@ func merge(sp *Spec, results []*shardResult) *Report {
 		iv := Interval{
 			Start:     start,
 			Dur:       end - start,
-			BudgetW:   budgetAt(sp.Budget, start),
+			BudgetW:   avgBudgetW(sp.Budget, start, end),
 			AchievedW: energy[k] / (end - start).Seconds(),
 			Checked:   true,
 		}
-		// Grace: a step changing the budget inside or right before this
-		// interval means part of it ran under the previous plan. The
-		// initial step at t=0 gets the same grace — devices enter the
-		// horizon in their power-on state with full burst allowances.
 		for _, st := range sp.Budget {
-			if st.At < end && st.At+sp.ControlPeriod > start {
+			if stepGraces(st.At, start, end, sp.ControlPeriod, lastStart) {
 				iv.Checked = false
 			}
 		}
@@ -519,7 +598,10 @@ func merge(sp *Spec, results []*shardResult) *Report {
 	return r
 }
 
-// budgetAt returns the scheduled fleet budget in force at time t.
+// budgetAt returns the scheduled fleet budget in force at time t: the
+// last step whose time is at or before t (a step binds exactly at its
+// own time). ParseSchedule guarantees the first step is at 0 and times
+// strictly increase, so the scan's final match is the binding step.
 func budgetAt(sched []BudgetStep, t time.Duration) float64 {
 	w := sched[0].FleetW
 	for _, st := range sched {
@@ -528,4 +610,54 @@ func budgetAt(sched []BudgetStep, t time.Duration) float64 {
 		}
 	}
 	return w
+}
+
+// stepGraces reports whether the budget step at stepAt graces the
+// control interval [start, end). The settle window after a step is
+// [stepAt, stepAt+cp): governors get one full control period to pull
+// the fleet onto the new plan, so the single interval whose start lies
+// in that window is exempt from tracking. Every step thereby graces
+// exactly one interval regardless of boundary alignment — a step
+// landing exactly on an interval boundary graces that interval, a
+// mid-interval step graces the next one (its own interval is instead
+// checked against the time-weighted budget, see avgBudgetW). A step
+// inside the run's final interval has no following interval to grace,
+// so the interval containing it takes the grace. The previous overlap
+// rule graced both intervals touching the window, so an unaligned step
+// silently stretched the grace toward two periods. lastStart is the
+// start of the run's final interval.
+func stepGraces(stepAt, start, end, cp, lastStart time.Duration) bool {
+	if stepAt <= start && start < stepAt+cp {
+		return true
+	}
+	// First interval start at or after the step; when it lies beyond the
+	// final interval the window rule above can never match, and the
+	// grace falls back to the interval the step lands in.
+	next := (stepAt + cp - 1) / cp * cp
+	return next > lastStart && start <= stepAt && stepAt < end
+}
+
+// avgBudgetW returns the scheduled budget averaged over [start, end):
+// budgetAt(start) when no step lands strictly inside the interval,
+// otherwise the exact time-weighted mean across the transition(s). An
+// interval split by a step ran part under the old budget and part under
+// the new; its energy-derived AchievedW can only be compared against
+// the same time weighting.
+func avgBudgetW(sched []BudgetStep, start, end time.Duration) float64 {
+	t, acc := start, 0.0
+	for _, st := range sched {
+		if st.At <= start {
+			continue
+		}
+		if st.At >= end {
+			break
+		}
+		acc += budgetAt(sched, t) * float64(st.At-t)
+		t = st.At
+	}
+	if t == start {
+		return budgetAt(sched, start)
+	}
+	acc += budgetAt(sched, t) * float64(end-t)
+	return acc / float64(end-start)
 }

@@ -32,6 +32,18 @@ type shardResult struct {
 	Latencies                              []time.Duration
 
 	IntervalEnergyJ []float64
+	// EndAt is the shard engine's clock after the post-horizon drain:
+	// the horizon, or later when held IO (a dropout window) released
+	// and completed past it.
+	EndAt time.Duration
+	// Events is the shard's total dispatched kernel event count.
+	Events uint64
+
+	MesoDehydrations, MesoRehydrations int
+	MesoParkedPeriods                  int
+	MesoAggJ                           float64
+	MesoWorstDriftFrac                 float64
+	MesoDriftOK                        bool
 
 	GovSteps, GovRetries, GovFailures  int
 	Replans, Compensations, Infeasible int
@@ -58,6 +70,15 @@ type shard struct {
 	redirs []*adaptive.Redirector
 	lanes  []*lane
 
+	// Per-lane arrival machinery, indexed like lanes. The stream objects
+	// are retained so a mesoscale rehydration can restart a lane's
+	// arrivals mid-stream instead of replaying the sequence from its
+	// seed. laneFaulted marks lanes containing a fault-injected device.
+	arrs        []*workload.Arrivals
+	astreams    []*sim.RNG
+	laneFaulted []bool
+	meso        *mesoState
+
 	inflight int
 	stopped  bool
 	prevE    float64
@@ -72,12 +93,17 @@ type shard struct {
 	freeDone *laneDone
 }
 
-// EnergyJ is the shard's aggregate device energy; the sliding-window
-// cap probe clamps onto it.
+// EnergyJ is the shard's aggregate device energy — mechanistic meters
+// plus the mesoscale pool's dynamic accrual for parked lanes — so the
+// sliding-window cap probe and interval accounting cover the analytic
+// population too.
 func (s *shard) EnergyJ() float64 {
 	var sum float64
 	for _, d := range s.devs {
 		sum += d.EnergyJ()
+	}
+	if s.meso != nil {
+		sum += s.meso.pool.DynEnergyJ(s.eng.Now())
 	}
 	return sum
 }
@@ -87,6 +113,7 @@ func (s *shard) EnergyJ() float64 {
 // dispatched in batches up to the group's depth limit.
 type lane struct {
 	sh   *shard
+	idx  int
 	dev  device.Device
 	rng  *sim.RNG
 	span int64
@@ -95,6 +122,9 @@ type lane struct {
 	head     int
 	inflight int
 	seqOff   int64
+	// rejected mirrors the shard-wide counter per lane, for the
+	// mesoscale steadiness fingerprint.
+	rejected int64
 }
 
 func (l *lane) qlen() int { return len(l.queue) - l.head }
@@ -106,6 +136,7 @@ func (l *lane) arrive() {
 	s.res.Offered++
 	if l.qlen() >= s.spec.QueueCap {
 		s.res.Rejected++
+		l.rejected++
 		return
 	}
 	s.res.Admitted++
@@ -181,6 +212,9 @@ func (d *laneDone) run() {
 	// for a real frontend.
 	s.res.Latencies = append(s.res.Latencies, now-admitted)
 	l.dispatch()
+	if s.meso != nil {
+		s.meso.laneQuiet(l)
+	}
 }
 
 func (l *lane) submit(admitted time.Duration) {
@@ -262,6 +296,14 @@ func (s *shard) intervalTick() {
 	s.res.IntervalEnergyJ[s.ivIdx] = e - s.prevE
 	s.prevE = e
 	s.ivIdx++
+	// The mesoscale tier rides the same boundary walk: steadiness
+	// fingerprints, calibration, and sentinel rotation all happen after
+	// the closing interval's energy is recorded. When every lane is
+	// parked this timer is the shard's heartbeat — the engine always has
+	// an event to carry virtual time to the horizon.
+	if s.meso != nil {
+		s.meso.tick()
+	}
 	if s.ivIdx < len(s.res.IntervalEnergyJ) {
 		s.ivTimer.Reschedule(s.intervalBoundary(s.ivIdx + 1))
 	}
@@ -274,6 +316,7 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	frng := sim.NewRNG(sp.FaultSeed ^ shardHash("serve/fault", idx))
 	s := &shard{spec: sp, eng: eng}
 	s.res.CapOK = true
+	s.res.MesoDriftOK = true
 
 	// Build devices, planning models, replica groups, and lanes.
 	scripted := scriptedFaults(sp)
@@ -281,6 +324,7 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	for g := rg.g0; g < rg.g1; g++ {
 		profile := sp.Profiles[g%len(sp.Profiles)]
 		groupDevs := make([]device.Device, 0, sp.Replicas)
+		groupFaulted := false
 		for rep := 0; rep < sp.Replicas; rep++ {
 			gi := g*sp.Replicas + rep
 			d, name, faulted, err := materializeDevice(sp, eng, rng, frng, scripted, profile, gi)
@@ -289,6 +333,7 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 			}
 			if faulted {
 				s.res.Faulted++
+				groupFaulted = true
 			}
 			m, err := planningModel(profile, name)
 			if err != nil {
@@ -314,10 +359,12 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 		span -= span % sp.ChunkBytes
 		s.lanes = append(s.lanes, &lane{
 			sh:   s,
+			idx:  len(s.lanes),
 			dev:  target,
 			rng:  rng.Stream(fmt.Sprintf("lane%05d", g)),
 			span: span,
 		})
+		s.laneFaulted = append(s.laneFaulted, groupFaulted)
 	}
 
 	fleet, err := core.NewFleet(models...)
@@ -344,9 +391,18 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 		s.govs = append(s.govs, gv)
 	}
 
+	// A budget step re-plans the whole shard, so every analytically
+	// aggregated lane must return to mechanistic simulation first: the
+	// rehydration settles its closed-form counts and restores governors
+	// and arrivals before the plan changes underneath it.
 	for _, st := range sp.Budget[1:] {
 		st := st
-		eng.Post(st.At, func() { s.applyBudget(st.FleetW) })
+		eng.Post(st.At, func() {
+			if s.meso != nil {
+				s.meso.rehydrateAll()
+			}
+			s.applyBudget(st.FleetW)
+		})
 	}
 
 	// Power accounting per control interval: one timer walks the
@@ -375,15 +431,28 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	// Open-loop arrival stream per lane.
 	for i, l := range s.lanes {
 		l := l
-		_, err := workload.StartArrivals(eng,
-			rng.Stream(fmt.Sprintf("arrivals%05d", rg.g0+i)),
-			sp.Arrival, sp.RateIOPS*float64(sp.Active), sp.Horizon, l.arrive, nil)
+		st := rng.Stream(fmt.Sprintf("arrivals%05d", rg.g0+i))
+		a, err := workload.StartArrivals(eng,
+			st, sp.Arrival, sp.RateIOPS*float64(sp.Active), sp.Horizon, l.arrive, nil)
 		if err != nil {
 			return nil, err
 		}
+		s.astreams = append(s.astreams, st)
+		s.arrs = append(s.arrs, a)
+	}
+
+	if sp.Meso {
+		s.meso = newMeso(s)
 	}
 
 	eng.RunUntil(sp.Horizon)
+
+	// Settle the analytic tier at the horizon, before governors are
+	// stopped and in-flight IO drains: parked lanes contribute their
+	// closed-form counts and energy through the full horizon.
+	if s.meso != nil {
+		s.meso.settle()
+	}
 
 	// Past the horizon: stop admitting and controlling, drain in-flight
 	// IO so every admitted-and-submitted request's latency is counted.
@@ -409,6 +478,8 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	if s.inflight > 0 {
 		return nil, fmt.Errorf("engine drained with %d IOs in flight", s.inflight)
 	}
+	s.res.EndAt = eng.Now()
+	s.res.Events = eng.Dispatched()
 
 	for _, gv := range s.govs {
 		if gv == nil {

@@ -27,12 +27,13 @@ import (
 // plain timers — is bit-for-bit the order the same Posts would have
 // produced through the heap.
 type Chain struct {
-	eng  *Engine
-	rep  *Timer
-	ring []chainEv
-	head int
-	n    int
-	last time.Duration // most recently queued time, for the monotonicity check
+	eng    *Engine
+	rep    *Timer
+	ring   []chainEv
+	head   int
+	n      int
+	last   time.Duration // most recently queued time, for the monotonicity check
+	parked bool
 }
 
 type chainEv struct {
@@ -67,7 +68,7 @@ func (c *Chain) Post(at time.Duration, fn func()) {
 	}
 	c.ring[(c.head+c.n)&(len(c.ring)-1)] = chainEv{at, seq, fn}
 	c.n++
-	if c.n == 1 {
+	if c.n == 1 && !c.parked {
 		c.rep.at, c.rep.seq = at, seq
 		e.armRep(c.rep)
 	} else {
@@ -92,6 +93,67 @@ func (c *Chain) PostLoose(at time.Duration, fn func()) {
 
 // Len returns the number of events buffered on the chain.
 func (c *Chain) Len() int { return c.n }
+
+// Parked reports whether the chain's dispatch is suspended.
+func (c *Chain) Parked() bool { return c.parked }
+
+// Park suspends the chain's dispatch: its representative leaves the
+// engine's queues (near heap, timing wheel, or overflow list) while
+// every buffered event — times, sequence numbers, and callbacks — is
+// preserved in the ring. A parked chain accepts further Posts, which
+// buffer without arming. Parked events still count toward Pending, but
+// the engine will not fire them and RunUntil/Run will pass them by:
+// that is the point — the mesoscale tier parks a quiesced device's
+// chains so its serialized resources stop costing heap traffic, and
+// the aggregate layer answers for the interval instead.
+//
+// Park is idempotent. Park followed by Unpark before virtual time
+// reaches the head event is exactly a no-op for the fire order: the
+// representative re-arms with the head's original (time, seq) key.
+func (c *Chain) Park() {
+	if c.parked {
+		return
+	}
+	c.parked = true
+	if c.n == 0 {
+		return
+	}
+	e := c.eng
+	rep := c.rep
+	if rep.index >= 0 {
+		e.heapRemove(rep.index)
+	} else {
+		e.wheelRemove(rep)
+	}
+	// The head is no longer represented anywhere; count it with the
+	// buffered tail so Pending stays exact.
+	e.chainExtra++
+}
+
+// Unpark resumes the chain's dispatch, re-filing the representative
+// with the head event's original (time, seq) key so the global fire
+// order is exactly what it would have been had the chain never parked.
+// It panics if virtual time has passed the head event — firing it would
+// run causality backward; the caller owns not sleeping through its own
+// schedule (the serving tier only parks drained chains, and unparks at
+// control-period boundaries before posting new work).
+func (c *Chain) Unpark() {
+	if !c.parked {
+		return
+	}
+	c.parked = false
+	if c.n == 0 {
+		return
+	}
+	e := c.eng
+	h := &c.ring[c.head]
+	if h.at < e.now {
+		panic(fmt.Sprintf("sim: unpark with head event at %v before now %v", h.at, e.now))
+	}
+	c.rep.at, c.rep.seq = h.at, h.seq
+	e.chainExtra--
+	e.armRep(c.rep)
+}
 
 // grow doubles the ring, unwrapping it to the front.
 func (c *Chain) grow() {

@@ -49,9 +49,9 @@ type Engine struct {
 
 	free *Timer // free list of pooled (Post) timers
 
-	// chainExtra counts events queued on Chains beyond each chain's
-	// head (the head is represented in the heap or on the wheel);
-	// Pending sums it in.
+	// chainExtra counts events queued on Chains but not represented in
+	// the heap or on the wheel: every event beyond a chain's head, plus
+	// the head itself while the chain is parked. Pending sums it in.
 	chainExtra int
 
 	// Timing wheel holding chain representatives whose head event lies
@@ -315,6 +315,14 @@ func (e *Engine) armRep(t *Timer) {
 // park files a far representative in its wheel bucket (or the overflow
 // list when it lies beyond the wheel span). Caller guarantees
 // t.at >= wBase+wheelWidth.
+//
+// Boundary semantics, pinned: the wheel covers (wBase+wheelWidth-1) up
+// to and including wBase+wheelSpan — a rep exactly one full revolution
+// out files into the just-surfaced current bucket and comes around
+// precisely at its due time. Only reps strictly beyond the span go to
+// the overflow list. The re-file path in wheelAdvance uses the same
+// inclusive comparison, so a rep at the exact span boundary never
+// round-trips through overflow.
 func (e *Engine) park(t *Timer) {
 	if e.wheel == nil {
 		e.wheel = make([]*Timer, wheelBuckets)
@@ -327,7 +335,7 @@ func (e *Engine) park(t *Timer) {
 			e.wBase = b
 		}
 	}
-	if t.at-e.wBase >= wheelSpan {
+	if t.at-e.wBase > wheelSpan {
 		t.next = e.overflow
 		e.overflow = t
 		e.overflowCnt++
@@ -337,6 +345,41 @@ func (e *Engine) park(t *Timer) {
 	t.next = e.wheel[j]
 	e.wheel[j] = t
 	e.wheelCnt++
+}
+
+// wheelRemove unlinks a parked representative from its wheel bucket or
+// the overflow list. It is the removal path Chain.Park needs: parked
+// reps never Stop or Reschedule, so nothing else removes them. The
+// bucket is recomputed from the rep's time; a rep whose bucket has come
+// due since it was filed would have been surfaced into the heap, so the
+// computed bucket (falling back to the overflow list, which re-files
+// lazily) always finds it.
+func (e *Engine) wheelRemove(t *Timer) {
+	if e.wheel != nil && t.at-e.wBase <= wheelSpan {
+		j := int(t.at>>wheelShift) & wheelMask
+		if listRemove(&e.wheel[j], t) {
+			e.wheelCnt--
+			return
+		}
+	}
+	if listRemove(&e.overflow, t) {
+		e.overflowCnt--
+		return
+	}
+	panic("sim: parked chain representative not found on wheel or overflow")
+}
+
+// listRemove unlinks t from a singly-linked Timer list, reporting
+// whether it was found.
+func listRemove(head **Timer, t *Timer) bool {
+	for p := head; *p != nil; p = &(*p).next {
+		if *p == t {
+			*p = t.next
+			t.next = nil
+			return true
+		}
+	}
+	return false
 }
 
 // wheelAdvance moves the near window forward one bucket, surfacing the
@@ -369,7 +412,9 @@ func (e *Engine) wheelAdvance() {
 			switch {
 			case t.at < e.wBase+wheelWidth:
 				e.heapPush(t)
-			case t.at-e.wBase < wheelSpan:
+			case t.at-e.wBase <= wheelSpan:
+				// Inclusive at the span boundary, matching park: a rep
+				// exactly one revolution out belongs on the wheel.
 				jj := int(t.at>>wheelShift) & wheelMask
 				t.next = e.wheel[jj]
 				e.wheel[jj] = t
@@ -550,11 +595,18 @@ func (e *Engine) NextEventAt() (time.Duration, bool) {
 }
 
 // Pending returns the number of events still queued (including events at
-// the current instant and events buffered on Chains). Stopped timers
-// leave the queue immediately, so this is a live count, O(1).
+// the current instant, events buffered on Chains, and events held by
+// parked chains). Stopped timers leave the queue immediately, so this is
+// a live count, O(1).
 func (e *Engine) Pending() int {
 	return len(e.pq) + e.chainExtra + e.wheelCnt + e.overflowCnt
 }
+
+// Dispatched returns the number of events the engine has fired since
+// construction. It is a deterministic measure of simulation work (wall
+// clock is not), which the mesoscale experiments use to report how many
+// events aggregation removed from a run.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
 // --- 4-ary min-heap over (at, seq) ---------------------------------------
 //

@@ -10,8 +10,11 @@ import (
 // timing wheel in front of it) must fire events in exactly the order a
 // textbook priority queue over (time, seq) would. FuzzHeapDifferential
 // drives both from the same random script of schedule / post / chain-post
-// / stop / reschedule / step operations and requires identical fire
-// sequences, including FIFO order among co-timed events.
+// / stop / reschedule / step / park-unpark operations and requires
+// identical fire sequences, including FIFO order among co-timed events.
+// Far posts step in eighths of the wheel span so the fuzzer reaches the
+// exact wheel/overflow boundary (at == wBase+wheelSpan), which must park
+// on the wheel, not the overflow list.
 
 type refEv struct {
 	at  time.Duration
@@ -53,6 +56,13 @@ func FuzzHeapDifferential(f *testing.F) {
 	f.Add([]byte{2, 3, 2, 3, 2, 3, 5, 0, 3, 0, 5, 0, 4, 1, 7})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 0, 2, 0, 5, 0, 6, 200, 6, 10, 5, 0})
 	f.Add([]byte{0, 9, 4, 0, 20, 3, 0, 4, 0, 9, 5, 0, 5, 0, 5, 0})
+	// Exact wheel-span boundary: a far post at precisely wBase+wheelSpan
+	// (arg 7 = 8 eighths of the span, with the wheel already occupied so
+	// the window jump cannot move wBase) must file on the wheel.
+	f.Add([]byte{6, 0, 6, 7, 5, 0, 5, 0, 5, 0})
+	f.Add([]byte{6, 7, 7, 0, 7, 0, 5, 0, 6, 7, 5, 0, 5, 0})
+	// Park/unpark interleaved with near-heap traffic.
+	f.Add([]byte{2, 0, 7, 0, 1, 10, 5, 0, 7, 0, 5, 0, 5, 0})
 
 	f.Fuzz(func(t *testing.T, script []byte) {
 		e := NewEngine()
@@ -61,6 +71,15 @@ func FuzzHeapDifferential(f *testing.F) {
 		var ref refHeap
 		var refSeq uint64
 		nextID := 0
+
+		// Reference model of the chains, for park/unpark: the FIFO of
+		// unfired chain-routed events per chain (mirroring each ring),
+		// whether the chain is parked, and the chain's last posted time
+		// (mirroring PostLoose's routing decision). While a chain is
+		// parked its events live only in chainQ, not in ref.
+		var chainQ [2][]refEv
+		var parked [2]bool
+		var chainLast [2]time.Duration
 
 		var engFired, refFired []int
 
@@ -76,8 +95,32 @@ func FuzzHeapDifferential(f *testing.F) {
 			refSeq++
 		}
 
+		// chainPost mirrors Chain.PostLoose: events that preserve the
+		// chain's time order ride the ring (and are withheld from ref
+		// while the chain is parked); others fall back to a plain post.
+		chainPost := func(k int, at time.Duration) {
+			id := nextID
+			nextID++
+			if at >= chainLast[k] {
+				chainLast[k] = at
+				ev := refEv{at, refSeq, id}
+				refSeq++
+				chainQ[k] = append(chainQ[k], ev)
+				if !parked[k] {
+					heap.Push(&ref, ev)
+				}
+				chains[k].PostLoose(at, func() {
+					engFired = append(engFired, id)
+					chainQ[k] = chainQ[k][1:]
+				})
+			} else {
+				chains[k].PostLoose(at, func() { engFired = append(engFired, id) })
+				push(at, id)
+			}
+		}
+
 		for i := 0; i+1 < len(script) && nextID < 512; i += 2 {
-			op, arg := script[i]%7, script[i+1]
+			op, arg := script[i]%8, script[i+1]
 			delta := time.Duration(arg) * 64 * time.Nanosecond
 			at := e.Now() + delta
 			switch op {
@@ -98,10 +141,7 @@ func FuzzHeapDifferential(f *testing.F) {
 				e.Post(at, func() { engFired = append(engFired, id) })
 				push(at, id)
 			case 2: // chain post (loose: tolerates non-monotone times)
-				id := nextID
-				nextID++
-				chains[int(arg)%2].PostLoose(at, func() { engFired = append(engFired, id) })
-				push(at, id)
+				chainPost(int(arg)%2, at)
 			case 3: // stop an owned timer
 				if len(owned) == 0 {
 					continue
@@ -137,18 +177,47 @@ func FuzzHeapDifferential(f *testing.F) {
 				if engOK {
 					refFired = append(refFired, heap.Pop(&ref).(refEv).id)
 				}
-			case 6: // far post, exercising wheel parking and overflow
-				id := nextID
-				nextID++
-				farAt := e.Now() + time.Duration(arg+1)*time.Millisecond
-				chains[int(arg)%2].PostLoose(farAt, func() { engFired = append(engFired, id) })
-				push(farAt, id)
+			case 6: // far post in span-eighths: wheel parking, exact span boundary, overflow
+				farAt := e.Now() + time.Duration(int(arg)%32+1)*(wheelSpan/8)
+				chainPost(int(arg)%2, farAt)
+			case 7: // park / unpark a chain
+				k := int(arg) % 2
+				if !parked[k] {
+					parked[k] = true
+					chains[k].Park()
+					for _, ev := range chainQ[k] {
+						ref.removeID(ev.id)
+					}
+				} else if len(chainQ[k]) == 0 || chainQ[k][0].at >= e.Now() {
+					parked[k] = false
+					chains[k].Unpark()
+					for _, ev := range chainQ[k] {
+						heap.Push(&ref, ev)
+					}
+				} // else: time passed the parked head; unparking would panic, skip
 			}
-			if e.Pending() != ref.Len() {
-				t.Fatalf("op %d: Pending() = %d, reference = %d", i, e.Pending(), ref.Len())
+			withheld := 0
+			for k := range chains {
+				if parked[k] {
+					withheld += len(chainQ[k])
+				}
+			}
+			if e.Pending() != ref.Len()+withheld {
+				t.Fatalf("op %d: Pending() = %d, reference = %d + %d withheld", i, e.Pending(), ref.Len(), withheld)
 			}
 		}
 
+		// Unpark whatever can still legally fire; chains whose parked head
+		// is already in the past stay parked on both sides.
+		for k := range chains {
+			if parked[k] && (len(chainQ[k]) == 0 || chainQ[k][0].at >= e.Now()) {
+				parked[k] = false
+				chains[k].Unpark()
+				for _, ev := range chainQ[k] {
+					heap.Push(&ref, ev)
+				}
+			}
+		}
 		e.Run()
 		for ref.Len() > 0 {
 			refFired = append(refFired, heap.Pop(&ref).(refEv).id)

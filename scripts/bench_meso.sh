@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Run the mesoscale-aggregation benchmark and emit its metrics as JSON.
+#
+#   scripts/bench_meso.sh [out.json]
+#
+# Runs BenchmarkMesoServe — one iteration pair-runs a 10k-device steady
+# fleet with the mesoscale tier off and then on — and converts the
+# `go test -bench` metric pairs into a flat JSON object written to
+# BENCH_meso.json (or the given path). The raw benchmark log is kept
+# next to it for debugging.
+#
+# Gate: the deterministic dispatched-event ratio (meso_event_ratio_x)
+# must show at least a 2x reduction. Wall-clock speedup (meso_speedup_x)
+# is reported but not gated — it is host-dependent by nature.
+set -eu
+
+out=${1:-BENCH_meso.json}
+log=${out%.json}.log
+
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench '^BenchmarkMesoServe$' -benchtime 1x -count 1 -timeout 30m . | tee "$log"
+
+awk -v out="$out" '
+/^BenchmarkMesoServe/ {
+    printf "{\n  \"benchmark\": \"%s\",\n  \"iterations\": %s", $1, $2 > out
+    # Fields from 3 on are value/unit pairs, e.g. `123456 ns/op 12.5 meso_speedup_x`.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        printf ",\n  \"%s\": %s", unit, $i > out
+        if (unit == "meso_event_ratio_x") ratio = $i
+        if (unit == "meso_drift_ok") drift = $i
+    }
+    printf "\n}\n" > out
+    found = 1
+}
+END {
+    if (!found) {
+        print "bench_meso.sh: no BenchmarkMesoServe result in output" > "/dev/stderr"
+        exit 1
+    }
+    if (ratio + 0 < 2) {
+        printf "bench_meso.sh: event reduction %.2fx under the 2x gate\n", ratio > "/dev/stderr"
+        exit 1
+    }
+    if (drift + 0 != 1) {
+        print "bench_meso.sh: sentinel drift probe failed" > "/dev/stderr"
+        exit 1
+    }
+}
+' "$log"
+
+echo "wrote $out:"
+cat "$out"
