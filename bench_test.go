@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"wattio/internal/calib"
 	"wattio/internal/catalog"
 	"wattio/internal/device"
 	"wattio/internal/experiments"
@@ -286,6 +287,61 @@ func BenchmarkMesoServe(b *testing.B) {
 	b.ReportMetric(diff*100, "meso_energy_diff_pct")
 	b.ReportMetric(float64(hyb.MesoParkedPeriods), "meso_parked_periods")
 	b.ReportMetric(driftOK, "meso_drift_ok")
+}
+
+// BenchmarkCalib calibrates every catalog class the calib scenario
+// covers, then pair-runs that scenario's mixed fleet with mechanistic
+// and fitted devices, and reports the worst cross-validated fit quality
+// plus the fleet-level power and throughput disagreement;
+// scripts/bench_calib.sh turns the metrics into BENCH_calib.json and
+// gates on the fit and agreement thresholds.
+func BenchmarkCalib(b *testing.B) {
+	sp := scenario.BuiltIn("calib")
+	worstR2, worstMAPE := 1.0, 0.0
+	var fitted, mech *serve.Report
+	var fitNS float64
+	for i := 0; i < b.N; i++ {
+		worstR2, worstMAPE = 1.0, 0.0
+		t0 := time.Now()
+		for _, p := range sp.Fleet.Profiles {
+			f, err := calib.FitClass(p, calib.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if f.R2 < worstR2 {
+				worstR2 = f.R2
+			}
+			if f.MAPE > worstMAPE {
+				worstMAPE = f.MAPE
+			}
+		}
+		fitNS = float64(time.Since(t0))
+		fittedSpec, err := sp.ServeSpec(sp.Runtime.D())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mechSpec := fittedSpec
+		mechSpec.Fitted = nil
+		if mech, err = serve.Run(mechSpec); err != nil {
+			b.Fatal(err)
+		}
+		if fitted, err = serve.Run(fittedSpec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	powErr := (fitted.AvgPowerW - mech.AvgPowerW) / mech.AvgPowerW
+	if powErr < 0 {
+		powErr = -powErr
+	}
+	tputErr := (fitted.ThroughputMBps - mech.ThroughputMBps) / mech.ThroughputMBps
+	if tputErr < 0 {
+		tputErr = -tputErr
+	}
+	b.ReportMetric(worstR2, "calib_worst_r2")
+	b.ReportMetric(worstMAPE*100, "calib_worst_mape_pct")
+	b.ReportMetric(powErr*100, "calib_fleet_power_diff_pct")
+	b.ReportMetric(tputErr*100, "calib_fleet_tput_diff_pct")
+	b.ReportMetric(fitNS/1e9, "calib_fit_s")
 }
 
 // --- Ablations -----------------------------------------------------------

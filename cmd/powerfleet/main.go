@@ -6,6 +6,7 @@
 // Usage:
 //
 //	powerfleet build -device SSD2 -o ssd2.json
+//	powerfleet calibrate -class SSD2 -o ssd2-fitted.json
 //	powerfleet info ssd2.json
 //	powerfleet plan -budget 20 ssd1.json ssd2.json
 //	powerfleet curtail -reduce 0.2 -chunk 256k -depth 64 ssd1.json
@@ -28,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"wattio/internal/calib"
 	"wattio/internal/campaign"
 	"wattio/internal/catalog"
 	"wattio/internal/core"
@@ -50,13 +52,14 @@ func run(argv []string, out, errw io.Writer) int {
 		return 2
 	}
 	cmds := map[string]func([]string, io.Writer) error{
-		"build":    build,
-		"info":     info,
-		"plan":     plan,
-		"curtail":  curtail,
-		"slo":      slo,
-		"scenario": scenarioCmd,
-		"campaign": campaignCmd,
+		"build":     build,
+		"calibrate": calibrate,
+		"info":      info,
+		"plan":      plan,
+		"curtail":   curtail,
+		"slo":       slo,
+		"scenario":  scenarioCmd,
+		"campaign":  campaignCmd,
 	}
 	cmd, ok := cmds[argv[0]]
 	if !ok {
@@ -76,6 +79,7 @@ func run(argv []string, out, errw io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   powerfleet build -device <name> -o <file> [-rw randwrite] [-runtime 10s] [-bytes 2147483648] [-seed 42]
+  powerfleet calibrate -class <name> -o <file> [-runtime 1.5s] [-warmup 600ms] [-seed 42] [-folds 5]
   powerfleet info <model.json>...
   powerfleet plan -budget <watts> <model.json>...
   powerfleet curtail -reduce <frac> -chunk <bytes> -depth <n> <model.json>
@@ -161,6 +165,53 @@ func build(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "wrote %s: %d operating points, power %.2f-%.2f W, max %.0f MB/s\n",
 		path, len(m.Samples()), m.MinPowerW(), m.MaxPowerW(), m.MaxThroughputMBps())
+	return nil
+}
+
+// calibrate fits a learned linear power model to a catalog class by
+// sweeping its mechanistic simulator, writes the versioned model file,
+// and reports the cross-validated fit quality. A fit that misses the
+// calibration gates still writes the file (the summary says so) but
+// exits nonzero, so scripts can trust a zero exit to mean a usable
+// model.
+func calibrate(args []string, out io.Writer) error {
+	fs := newFlagSet("calibrate")
+	class := fs.String("class", "SSD2", "catalog class to calibrate: "+strings.Join(catalog.Names(), ", "))
+	outPath := fs.String("o", "", "output file (default <class>-fitted.json)")
+	runtime := fs.Duration("runtime", 0, "per-cell measurement window (0 = default)")
+	warmup := fs.Duration("warmup", 0, "unmeasured per-cell warmup (0 = default; negative disables)")
+	seed := fs.Uint64("seed", 0, "sweep and cross-validation seed (0 = default)")
+	folds := fs.Int("folds", 0, "cross-validation folds (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := calib.Options{PointRuntime: *runtime, Warmup: *warmup, Seed: *seed, Folds: *folds}
+	fmt.Fprintf(os.Stderr, "calibrating %s against its mechanistic simulator...\n", *class)
+	fit, err := calib.FitClass(*class, opt)
+	if err != nil {
+		return err
+	}
+	path := *outPath
+	if path == "" {
+		path = strings.ToLower(*class) + "-fitted.json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fit.Model.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d power states fit from %d operating points, CV R2 %.4f, MAPE %.2f%%\n",
+		path, len(fit.Model.States), len(fit.Records), fit.R2, 100*fit.MAPE)
+	if !fit.GatesOK() {
+		return fmt.Errorf("%s fit misses calibration gates: R2 %.4f (>= %.2f), MAPE %.4f (<= %.2f)",
+			*class, fit.R2, calib.GateR2, fit.MAPE, calib.GateMAPE)
+	}
 	return nil
 }
 

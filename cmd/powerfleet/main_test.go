@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"wattio/internal/calib"
 	"wattio/internal/core"
 	"wattio/internal/scenario"
 )
@@ -228,6 +229,43 @@ func TestScenarioSubcommand(t *testing.T) {
 
 	if code, _, stderr := runCLI("scenario"); code == 0 || !strings.Contains(stderr, "at least one") {
 		t.Fatalf("bare scenario subcommand: exit %d, stderr: %s", code, stderr)
+	}
+}
+
+// TestCalibrateSubcommand fits a learned model through the CLI and
+// reloads the written file through the strict calib loader — the
+// end-to-end check that `powerfleet calibrate` emits a usable,
+// versioned model and reports the cross-validated fit quality.
+func TestCalibrateSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ssd3.json")
+	code, out, stderr := runCLI("calibrate", "-class", "SSD3", "-o", path, "-runtime", "800ms")
+	if code != 0 {
+		t.Fatalf("calibrate exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"wrote " + path, "CV R2", "MAPE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("calibrate output missing %q:\n%s", want, out)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := calib.Load(f)
+	if err != nil {
+		t.Fatalf("written model does not reload: %v", err)
+	}
+	if m.Class != "SSD3" || len(m.States) != 1 {
+		t.Errorf("unexpected model: class %q, %d states", m.Class, len(m.States))
+	}
+
+	if code, _, stderr := runCLI("calibrate", "-class", "NoSuchClass"); code == 0 || !strings.Contains(stderr, "NoSuchClass") {
+		t.Errorf("unknown class: exit %d, stderr %s", code, stderr)
+	}
+	if code, _, stderr := runCLI("calibrate", "-class", "SSD3", "-folds", "1"); code == 0 || !strings.Contains(stderr, "folds") {
+		t.Errorf("bad folds: exit %d, stderr %s", code, stderr)
 	}
 }
 

@@ -1,0 +1,180 @@
+package calib
+
+import (
+	"fmt"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/sim"
+)
+
+// FittedDevice implements device.Device from a fitted Model alone — no
+// mechanistic internals, just the coefficients: a single-server FIFO
+// whose per-IO service time and energy come from the current power
+// state's fitted Service and Coeffs. It plugs into everything the
+// mechanistic devices do (fleets, governors, budget controllers, fault
+// wrappers, serving lanes), which is the point: a device class that
+// has measurements but no simulator still serves.
+//
+// Energy accounting integrates a piecewise-constant power signal
+// exactly: StaticW always, plus the in-flight IO's energy spread
+// uniformly over its service time. InstantPower is that same signal,
+// so a governor's ΔE/Δt measurements and the rig's sampling agree by
+// construction.
+type FittedDevice struct {
+	eng    *sim.Engine
+	m      *Model
+	name   string
+	states []device.PowerState // advertised descriptors; nil when single-state
+
+	ps int
+
+	// Piecewise-constant energy integral: accJ through lastT, advancing
+	// at StaticW + dynRateW.
+	accJ     float64
+	lastT    time.Duration
+	dynRateW float64
+
+	busy  bool
+	queue []fittedReq
+	head  int
+}
+
+type fittedReq struct {
+	r    device.Request
+	done func()
+}
+
+// NewDevice binds a validated fitted model to an engine. Models with a
+// single power state advertise no host-selectable states (PowerStates
+// returns nil), matching the mechanistic SATA/HDD classes.
+func NewDevice(eng *sim.Engine, m *Model, name string) (*FittedDevice, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	d := &FittedDevice{eng: eng, m: m, name: name}
+	if len(m.States) > 1 {
+		d.states = make([]device.PowerState, len(m.States))
+		for i, st := range m.States {
+			d.states[i] = device.PowerState{MaxPowerW: st.MaxPowerW}
+		}
+	}
+	return d, nil
+}
+
+// Name returns the instance label.
+func (d *FittedDevice) Name() string { return d.name }
+
+// Model returns the source class's marketing string, marked fitted.
+func (d *FittedDevice) Model() string { return d.m.DeviceModel + " (fitted)" }
+
+// Protocol returns the source class's host interface.
+func (d *FittedDevice) Protocol() device.Protocol { return d.m.Protocol }
+
+// CapacityBytes returns the addressable capacity.
+func (d *FittedDevice) CapacityBytes() int64 { return d.m.CapacityBytes }
+
+// accrue advances the energy integral to the engine's current time.
+func (d *FittedDevice) accrue() {
+	now := d.eng.Now()
+	if dt := (now - d.lastT).Seconds(); dt > 0 {
+		d.accJ += (d.m.States[d.ps].Energy.StaticW + d.dynRateW) * dt
+	}
+	d.lastT = now
+}
+
+// Submit enqueues an IO on the fitted FIFO. It panics on an invalid
+// request, per the Device contract.
+func (d *FittedDevice) Submit(r device.Request, done func()) {
+	if err := r.Validate(d.m.CapacityBytes); err != nil {
+		panic(fmt.Sprintf("calib: %s: %v", d.name, err))
+	}
+	d.queue = append(d.queue, fittedReq{r, done})
+	if !d.busy {
+		d.start()
+	}
+}
+
+// start services the queue head: the IO holds the server for its fitted
+// service time while the dynamic power rate carries its fitted energy.
+// Rates are latched at issue, so a power-state change mid-IO applies
+// from the next IO on — the same commit point the mechanistic models
+// use.
+func (d *FittedDevice) start() {
+	q := d.queue[d.head]
+	d.head++
+	if d.head > 64 && d.head*2 >= len(d.queue) {
+		d.queue = append(d.queue[:0], d.queue[d.head:]...)
+		d.head = 0
+	}
+	st := d.m.States[d.ps]
+	opS, byteS := st.Service.WriteOpS, st.Service.WriteByteS
+	opJ, byteJ := st.Energy.WriteOpJ, st.Energy.WriteByteJ
+	if q.r.Op == device.OpRead {
+		opS, byteS = st.Service.ReadOpS, st.Service.ReadByteS
+		opJ, byteJ = st.Energy.ReadOpJ, st.Energy.ReadByteJ
+	}
+	size := float64(q.r.Size)
+	svcS := opS + byteS*size
+	svc := time.Duration(svcS * float64(time.Second))
+	if svc < time.Nanosecond {
+		// Validation guarantees positive service seconds, but a tiny
+		// fitted coefficient on a small IO can round below the engine's
+		// tick; zero-duration service would livelock a closed loop.
+		svc = time.Nanosecond
+	}
+	d.accrue()
+	d.busy = true
+	d.dynRateW = (opJ + byteJ*size) / svc.Seconds()
+	d.eng.After(svc, func() {
+		d.accrue()
+		d.busy = false
+		d.dynRateW = 0
+		if d.head < len(d.queue) {
+			d.start()
+		}
+		q.done()
+	})
+}
+
+// InstantPower returns the current piecewise-constant draw.
+func (d *FittedDevice) InstantPower() float64 {
+	return d.m.States[d.ps].Energy.StaticW + d.dynRateW
+}
+
+// EnergyJ returns cumulative energy since construction.
+func (d *FittedDevice) EnergyJ() float64 {
+	d.accrue()
+	return d.accJ
+}
+
+// PowerStates lists the advertised power-state descriptors.
+func (d *FittedDevice) PowerStates() []device.PowerState { return d.states }
+
+// SetPowerState selects a fitted state; static draw switches now, the
+// in-flight IO (if any) finishes at its latched rate.
+func (d *FittedDevice) SetPowerState(index int) error {
+	if index < 0 || index >= len(d.m.States) {
+		return device.ErrBadPowerState
+	}
+	d.accrue()
+	d.ps = index
+	return nil
+}
+
+// PowerStateIndex returns the current state index.
+func (d *FittedDevice) PowerStateIndex() int { return d.ps }
+
+// EnterStandby is not part of the fitted surface: the calibration
+// sweeps measure operational states only, so a fitted device declines
+// like an NVMe SSD without APST and stays fully awake.
+func (d *FittedDevice) EnterStandby() error { return device.ErrNotSupported }
+
+// Wake declines like EnterStandby.
+func (d *FittedDevice) Wake() error { return device.ErrNotSupported }
+
+// Standby is always false; fitted devices do not sleep.
+func (d *FittedDevice) Standby() bool { return false }
+
+// Settled is always true; there are no transitions to wait out.
+func (d *FittedDevice) Settled() bool { return true }

@@ -1,0 +1,189 @@
+package calib
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/sim"
+)
+
+// simpleModel returns hand-picked coefficients that make service times
+// and energies easy to compute exactly: 1 W static, 1 ms + 1 ns/KiB
+// writes at 2 J/op, 0.5 ms reads at 1 J/op.
+func simpleModel() *Model {
+	return &Model{
+		Class:         "TEST",
+		DeviceModel:   "Test Fitted",
+		Protocol:      device.NVMe,
+		CapacityBytes: 1 << 30,
+		States: []State{{
+			MaxPowerW: 10,
+			Energy:    Coeffs{ReadOpJ: 1, WriteOpJ: 2, StaticW: 1},
+			Service:   Service{ReadOpS: 0.0005, WriteOpS: 0.001},
+		}},
+	}
+}
+
+func TestFittedDeviceFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	d, err := NewDevice(eng, simpleModel(), "t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt []time.Duration
+	req := device.Request{Op: device.OpWrite, Size: 4096}
+	for i := 0; i < 3; i++ {
+		d.Submit(req, func() { doneAt = append(doneAt, eng.Now()) })
+	}
+	eng.Run()
+	if len(doneAt) != 3 {
+		t.Fatalf("%d completions, want 3", len(doneAt))
+	}
+	// Writes serialize at 1 ms each on the single server.
+	for i, at := range doneAt {
+		want := time.Duration(i+1) * time.Millisecond
+		if at != want {
+			t.Errorf("completion %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestFittedDeviceEnergyExact(t *testing.T) {
+	eng := sim.NewEngine()
+	d, err := NewDevice(eng, simpleModel(), "t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Submit(device.Request{Op: device.OpWrite, Size: 4096}, func() {})
+	// During the write: static 1 W plus 2 J spread over 1 ms = 2001 W.
+	if got := d.InstantPower(); math.Abs(got-2001) > 1e-9 {
+		t.Errorf("busy draw %v W, want 2001", got)
+	}
+	eng.Run()
+	eng.RunUntil(1 * time.Second)
+	// After 1 s: 1 J static + 2 J for the write.
+	if got := d.EnergyJ(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("energy %v J, want 3", got)
+	}
+	if got := d.InstantPower(); got != 1 {
+		t.Errorf("idle draw %v W, want 1", got)
+	}
+}
+
+func TestFittedDeviceReadWriteCoefficients(t *testing.T) {
+	eng := sim.NewEngine()
+	d, err := NewDevice(eng, simpleModel(), "t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readDone time.Duration
+	d.Submit(device.Request{Op: device.OpRead, Size: 4096}, func() { readDone = eng.Now() })
+	eng.Run()
+	if readDone != 500*time.Microsecond {
+		t.Errorf("read completed at %v, want 500µs", readDone)
+	}
+	if got := d.EnergyJ(); math.Abs(got-(1*0.0005+1)) > 1e-9 {
+		t.Errorf("energy %v J, want static 0.0005 + read 1", got)
+	}
+}
+
+func TestFittedDevicePowerStates(t *testing.T) {
+	eng := sim.NewEngine()
+	// Single-state model: no host-selectable states advertised.
+	d, err := NewDevice(eng, simpleModel(), "t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PowerStates() != nil {
+		t.Error("single-state model advertises power states")
+	}
+	if err := d.SetPowerState(1); err != device.ErrBadPowerState {
+		t.Errorf("out-of-range state: %v", err)
+	}
+	if err := d.SetPowerState(0); err != nil {
+		t.Errorf("state 0 rejected: %v", err)
+	}
+
+	// Multi-state model: descriptors mirror the fitted caps, and the
+	// static floor switches with the state.
+	m := simpleModel()
+	m.States = append(m.States, State{
+		MaxPowerW: 5,
+		Energy:    Coeffs{ReadOpJ: 1, WriteOpJ: 2, StaticW: 0.25},
+		Service:   Service{ReadOpS: 0.001, WriteOpS: 0.002},
+	})
+	d2, err := NewDevice(eng, m, "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := d2.PowerStates()
+	if len(ps) != 2 || ps[0].MaxPowerW != 10 || ps[1].MaxPowerW != 5 {
+		t.Fatalf("descriptors %+v, want caps 10 and 5", ps)
+	}
+	if err := d2.SetPowerState(1); err != nil {
+		t.Fatal(err)
+	}
+	if d2.PowerStateIndex() != 1 {
+		t.Errorf("state index %d, want 1", d2.PowerStateIndex())
+	}
+	if got := d2.InstantPower(); got != 0.25 {
+		t.Errorf("idle draw in ps1 = %v W, want 0.25", got)
+	}
+}
+
+func TestFittedDeviceDeclinesStandby(t *testing.T) {
+	eng := sim.NewEngine()
+	d, err := NewDevice(eng, simpleModel(), "t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnterStandby(); err != device.ErrNotSupported {
+		t.Errorf("EnterStandby: %v", err)
+	}
+	if err := d.Wake(); err != device.ErrNotSupported {
+		t.Errorf("Wake: %v", err)
+	}
+	if d.Standby() {
+		t.Error("fitted device claims standby")
+	}
+	if !d.Settled() {
+		t.Error("fitted device not settled")
+	}
+}
+
+func TestFittedDeviceRejects(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewDevice(eng, &Model{}, "t0"); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	d, err := NewDevice(eng, simpleModel(), "t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid request did not panic")
+		}
+	}()
+	d.Submit(device.Request{Op: device.OpWrite, Size: 100}, func() {}) // unaligned
+}
+
+// TestFittedDeviceMinimumService: pathological tiny service coefficients
+// round up to one engine tick instead of completing in zero time.
+func TestFittedDeviceMinimumService(t *testing.T) {
+	eng := sim.NewEngine()
+	m := simpleModel()
+	m.States[0].Service = Service{ReadOpS: 1e-15, WriteOpS: 1e-15}
+	d, err := NewDevice(eng, m, "t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at time.Duration
+	d.Submit(device.Request{Op: device.OpWrite, Size: 4096}, func() { at = eng.Now() })
+	eng.Run()
+	if at != time.Nanosecond {
+		t.Errorf("completion at %v, want the 1ns floor", at)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"wattio/internal/calib"
 	"wattio/internal/catalog"
 	"wattio/internal/device"
 	"wattio/internal/fault"
@@ -72,6 +73,26 @@ func (s *Spec) ServeSpec(horizon time.Duration) (serve.Spec, error) {
 		sp.Meso = true
 		sp.MesoDwellPeriods = m.DwellPeriods
 		sp.MesoDriftTolFrac = m.DriftTolFrac
+	}
+	if c := f.Calib; c != nil && c.Enable {
+		profiles := f.Profiles
+		if len(profiles) == 0 {
+			profiles = []string{"SSD2"}
+		}
+		opt := calib.Options{
+			PointRuntime: c.PointRuntime.D(),
+			Warmup:       c.Warmup.D(),
+			Seed:         c.Seed,
+			Folds:        c.Folds,
+		}
+		sp.Fitted = make(map[string]*calib.Model, len(profiles))
+		for _, p := range profiles {
+			fit, err := calib.FitClass(p, opt)
+			if err != nil {
+				return serve.Spec{}, pathErr("fleet.calib", "%v", err)
+			}
+			sp.Fitted[p] = fit.Model
+		}
 	}
 	switch f.Budget {
 	case "max":

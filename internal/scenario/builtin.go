@@ -183,6 +183,30 @@ var builtins = map[string]func() *Spec{
 			},
 		}
 	},
+	// calib drives the learned-device-model experiment: calibrate every
+	// catalog class against its mechanistic simulator, then serve the
+	// same mixed fleet twice — mechanistic and fitted — under a
+	// never-binding budget and compare. The experiment gates on the
+	// cross-validated fit quality and on the differential agreement.
+	"calib": func() *Spec {
+		return &Spec{
+			Version:    Version,
+			Name:       "calib",
+			Notes:      "Learned device models: NNLS calibration of every catalog class with cross-validated fit gates (R², MAPE), then a differential fleet run — fitted vs mechanistic — gated on power agreement. Equivalent to `powerbench -exp calib`.",
+			Experiment: "calib",
+			Scale:      "quick",
+			Runtime:    Duration(2 * time.Second),
+			Seed:       42,
+			FaultSeed:  1,
+			Fleet: &FleetSpec{
+				Profiles: []string{"SSD1", "SSD2", "SSD3", "HDD"},
+				Size:     16,
+				RateIOPS: 3000,
+				Budget:   "max",
+				Calib:    &CalibSpec{Enable: true},
+			},
+		}
+	},
 	// powercap is the examples/powercap device-and-workload shape: one
 	// SSD2 under saturating sequential IO, walked through its power
 	// states by the example.

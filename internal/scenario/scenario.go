@@ -187,6 +187,11 @@ type FleetSpec struct {
 	// the event-driven simulation for a calibrated analytic aggregate
 	// and rehydrate at control boundaries. Off when absent.
 	Meso *MesoSpec `json:"meso,omitempty"`
+	// Calib swaps learned device models for the fleet's mechanistic
+	// simulators: every profile in the mix is calibrated against its
+	// simulator (internal/calib) and materialized as a fitted device.
+	// Off when absent.
+	Calib *CalibSpec `json:"calib,omitempty"`
 }
 
 // MesoSpec parameterizes the hybrid mesoscale tier (serve.Spec's Meso
@@ -203,6 +208,28 @@ type MesoSpec struct {
 	// calibrated operating point by more than this fraction bars the
 	// lane from parking again and fails the drift probe. Default 0.10.
 	DriftTolFrac float64 `json:"drift_tol_frac,omitempty"`
+}
+
+// CalibSpec parameterizes the learned-device-model substitution: the
+// calibration sweep bounds map onto calib.Options, and the fleet's
+// profiles materialize as calib.FittedDevice instances instead of
+// mechanistic simulators. Fits are memoized per (class, options), so a
+// campaign grid re-running a calib scenario pays for each sweep once.
+type CalibSpec struct {
+	// Enable turns the substitution on; the other fields are ignored
+	// without it.
+	Enable bool `json:"enable"`
+	// PointRuntime is each calibration cell's measured window.
+	// Default 1.5 s.
+	PointRuntime Duration `json:"point_runtime,omitempty"`
+	// Warmup is the unmeasured steady-state lead-in per cell.
+	// Default 600 ms.
+	Warmup Duration `json:"warmup,omitempty"`
+	// Seed drives the calibration sweep and the cross-validation
+	// shuffle. Default 42.
+	Seed uint64 `json:"seed,omitempty"`
+	// Folds is the cross-validation fold count. Default 5.
+	Folds int `json:"folds,omitempty"`
 }
 
 // FleetFault scripts fault windows onto one named fleet instance.
@@ -601,6 +628,17 @@ func (f *FleetSpec) validate(path string) error {
 		}
 		if m.DriftTolFrac < 0 {
 			return pathErr(path+".meso.drift_tol_frac", "negative drift tolerance %v", m.DriftTolFrac)
+		}
+	}
+	if c := f.Calib; c != nil {
+		if c.PointRuntime.D() < 0 {
+			return pathErr(path+".calib.point_runtime", "negative cell runtime %v", c.PointRuntime.D())
+		}
+		if c.Warmup.D() < 0 {
+			return pathErr(path+".calib.warmup", "negative warmup %v", c.Warmup.D())
+		}
+		if c.Folds == 1 || c.Folds < 0 {
+			return pathErr(path+".calib.folds", "cross-validation needs at least 2 folds, got %d", c.Folds)
 		}
 	}
 	if len(f.Faults) == 0 {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"wattio/internal/calib"
 	"wattio/internal/catalog"
 	"wattio/internal/device"
 	"wattio/internal/fault"
@@ -63,9 +64,19 @@ func scriptedFaults(sp *Spec) map[string][]fault.Window {
 func materializeDevice(sp *Spec, eng *sim.Engine, rng, frng *sim.RNG,
 	scripted map[string][]fault.Window, profile string, gi int) (device.Device, string, bool, error) {
 	name := InstanceName(profile, gi)
-	d, ok := catalog.NewNamed(profile, name, eng, rng.Stream(name))
-	if !ok {
-		return nil, "", false, fmt.Errorf("unknown profile %q", profile)
+	var d device.Device
+	if m := sp.Fitted[profile]; m != nil {
+		fd, err := calib.NewDevice(eng, m, name)
+		if err != nil {
+			return nil, "", false, fmt.Errorf("fitted model for %s: %w", name, err)
+		}
+		d = fd
+	} else {
+		md, ok := catalog.NewNamed(profile, name, eng, rng.Stream(name))
+		if !ok {
+			return nil, "", false, fmt.Errorf("unknown profile %q", profile)
+		}
+		d = md
 	}
 	ds := frng.Stream(name)
 	if wins := scripted[name]; len(wins) > 0 {

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"wattio/internal/calib"
 	"wattio/internal/fault"
 	"wattio/internal/grid"
 	"wattio/internal/stats"
@@ -128,6 +129,15 @@ type Spec struct {
 	Meso             bool
 	MesoDwellPeriods int
 	MesoDriftTolFrac float64
+
+	// Fitted substitutes learned device models (internal/calib) for the
+	// mechanistic simulators of the named profiles: every fleet instance
+	// of a mapped profile materializes as a calib.FittedDevice driven by
+	// the fitted coefficients. Planning models, governors, budget
+	// control, and fault wrapping are unchanged — a fitted profile is
+	// just another device behind the same interface. Profiles absent
+	// from the map keep their mechanistic simulators.
+	Fitted map[string]*calib.Model
 }
 
 // DeviceFault scripts fault windows onto one named fleet instance.
@@ -145,6 +155,17 @@ func (s Spec) normalized() (Spec, error) {
 	for _, p := range s.Profiles {
 		if _, ok := planningTable[p]; !ok {
 			return s, fmt.Errorf("serve: unknown profile %q", p)
+		}
+	}
+	for p, m := range s.Fitted {
+		if _, ok := planningTable[p]; !ok {
+			return s, fmt.Errorf("serve: fitted model for unknown profile %q", p)
+		}
+		if m == nil {
+			return s, fmt.Errorf("serve: nil fitted model for profile %q", p)
+		}
+		if err := m.Validate(); err != nil {
+			return s, fmt.Errorf("serve: fitted model for %q: %w", p, err)
 		}
 	}
 	if s.Size == 0 {

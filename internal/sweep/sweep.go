@@ -58,6 +58,12 @@ type Spec struct {
 	// the paper's defaults (60 s, 4 GiB).
 	Runtime    time.Duration
 	TotalBytes int64
+	// Warmup, when positive, drives each cell's job shape for this
+	// duration before the rig starts sampling, so the measured window
+	// sees steady state — a full write-back cache, saturated power-state
+	// regulator windows — instead of cold-start transients. Zero keeps
+	// the historical cold-start measurement.
+	Warmup time.Duration
 	// Span restricts the offset range; 0 means the whole device.
 	Span int64
 	// Seed makes the grid reproducible.
@@ -193,6 +199,14 @@ func runOne(spec Spec, ps int, op device.Op, pat workload.Pattern, chunk int64, 
 	if err != nil {
 		return Point{}, err
 	}
+	if spec.Warmup > 0 {
+		// Same job shape, unmeasured, on a derived stream so the
+		// measured run draws the same offsets as a cold-start cell.
+		workload.Run(eng, dev, workload.Job{
+			Op: op, Pattern: pat, BS: chunk, Depth: depth,
+			Runtime: spec.Warmup, Span: spec.Span,
+		}, rng.Stream("warmup"))
+	}
 	rig.Start()
 	job := workload.Job{
 		Op: op, Pattern: pat, BS: chunk, Depth: depth,
@@ -224,6 +238,104 @@ func runOne(spec Spec, ps int, op device.Op, pat workload.Pattern, chunk int64, 
 func hashConfig(ps int, op device.Op, pat workload.Pattern, chunk int64, depth int) uint64 {
 	h := uint64(14695981039346656037)
 	for _, v := range []uint64{uint64(ps), uint64(op), uint64(pat), uint64(chunk), uint64(depth)} {
+		h = (h ^ v) * 1099511628211
+	}
+	return h
+}
+
+// Record is one sweep point flattened into the measurement dataset row
+// downstream consumers — calibration fits, reports, tests — share. The
+// quantities are exactly the ones the reports print: the workload's
+// issue-to-last-completion window and the rig-measured average power
+// over it, with energy their product. There is no second accounting
+// path; a fit and a printed table disagree only if this function does.
+type Record struct {
+	Device     string
+	PowerState int
+	Random     bool
+	Write      bool
+	ChunkBytes int64
+	Depth      int
+
+	// IOs and Bytes are completed counts; both zero for an idle record.
+	IOs   int64
+	Bytes int64
+	// Seconds is the measured window; EnergyJ = AvgPowerW × Seconds.
+	Seconds   float64
+	AvgPowerW float64
+	EnergyJ   float64
+	MBps      float64
+}
+
+// Record flattens the point into its dataset row.
+func (p Point) Record() Record {
+	secs := p.Result.Elapsed.Seconds()
+	return Record{
+		Device:     p.Config.Device,
+		PowerState: p.Config.PowerState,
+		Random:     p.Config.Random,
+		Write:      p.Config.Write,
+		ChunkBytes: p.Config.ChunkBytes,
+		Depth:      p.Config.Depth,
+		IOs:        p.Result.IOs,
+		Bytes:      p.Result.Bytes,
+		Seconds:    secs,
+		AvgPowerW:  p.AvgPowerW,
+		EnergyJ:    p.AvgPowerW * secs,
+		MBps:       p.Result.BandwidthMBps,
+	}
+}
+
+// Records converts a slice of points to dataset rows.
+func Records(points []Point) []Record {
+	out := make([]Record, len(points))
+	for i, p := range points {
+		out[i] = p.Record()
+	}
+	return out
+}
+
+// Idle measures a device holding a power state with no IO for dur: the
+// same testbed as a swept cell (fresh engine, catalog device, rig on
+// the device's rail) minus the workload, so idle draw is measured
+// through the same instrument chain as loaded draw. The returned
+// point's Result carries only the window; Record() yields a zero-IO
+// row anchoring a calibration's static-power intercept.
+func Idle(devName string, ps int, dur time.Duration, seed uint64) (Point, error) {
+	if dur <= 0 {
+		return Point{}, fmt.Errorf("sweep: idle window %v must be positive", dur)
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed ^ hashIdle(ps, dur))
+	dev, ok := catalog.ByName(devName, eng, rng)
+	if !ok {
+		return Point{}, fmt.Errorf("sweep: unknown device %q", devName)
+	}
+	if ps != 0 {
+		if err := dev.SetPowerState(ps); err != nil {
+			return Point{}, fmt.Errorf("sweep: %s ps%d: %w", devName, ps, err)
+		}
+	}
+	rig, err := measure.NewRig(eng, rng, dev, measure.DefaultRigConfig(RailFor(dev)))
+	if err != nil {
+		return Point{}, err
+	}
+	rig.Start()
+	eng.RunUntil(dur)
+	rig.Stop()
+	return Point{
+		Config:    core.Config{Device: devName, PowerState: ps},
+		Result:    workload.Result{Elapsed: dur},
+		AvgPowerW: rig.Trace().Mean(),
+	}, nil
+}
+
+// hashIdle derives a per-window seed offset for idle measurements,
+// disjoint from hashConfig's cell space by construction (a different
+// FNV tag leads the fold).
+func hashIdle(ps int, dur time.Duration) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range []uint64{0x1d7e, uint64(ps), uint64(dur)} {
 		h = (h ^ v) * 1099511628211
 	}
 	return h

@@ -138,6 +138,96 @@ func TestBuildModelSweepsPowerStates(t *testing.T) {
 	}
 }
 
+func TestRecordsMatchPoints(t *testing.T) {
+	pts, err := Run(quickSpec("SSD2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := Records(pts)
+	if len(recs) != len(pts) {
+		t.Fatalf("Records len %d != %d", len(recs), len(pts))
+	}
+	for i, r := range recs {
+		p := pts[i]
+		if r.Device != p.Config.Device || r.PowerState != p.Config.PowerState ||
+			r.ChunkBytes != p.Config.ChunkBytes || r.Depth != p.Config.Depth {
+			t.Errorf("record %d config does not match point", i)
+		}
+		if r.IOs != p.Result.IOs || r.Bytes != p.Result.Bytes {
+			t.Errorf("record %d counts do not match point", i)
+		}
+		// The record must carry exactly what a report would print: the
+		// measured window, the rig mean, and their product as energy.
+		if r.Seconds != p.Result.Elapsed.Seconds() || r.AvgPowerW != p.AvgPowerW {
+			t.Errorf("record %d window/power diverges from point", i)
+		}
+		if r.EnergyJ != r.AvgPowerW*r.Seconds {
+			t.Errorf("record %d energy %v != power×time", i, r.EnergyJ)
+		}
+		if r.EnergyJ <= 0 {
+			t.Errorf("record %d has non-positive energy", i)
+		}
+	}
+}
+
+func TestIdleRecord(t *testing.T) {
+	p, err := Idle("SSD2", 1, 500*time.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Record()
+	if r.IOs != 0 || r.Bytes != 0 {
+		t.Fatalf("idle record has IO: %+v", r)
+	}
+	if r.PowerState != 1 {
+		t.Fatalf("idle record power state %d, want 1", r.PowerState)
+	}
+	if r.Seconds != 0.5 {
+		t.Fatalf("idle window %v s, want 0.5", r.Seconds)
+	}
+	if r.AvgPowerW <= 0 || r.AvgPowerW > 8 {
+		t.Fatalf("idle draw %.2f W outside SSD2's plausible idle range", r.AvgPowerW)
+	}
+	// Loaded draw at the same state must measurably exceed idle draw.
+	spec := quickSpec("SSD2")
+	spec.PowerStates = []int{1}
+	spec.Chunks = []int64{256 << 10}
+	spec.Depths = []int{64}
+	pts, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded := pts[0].Record(); loaded.AvgPowerW <= r.AvgPowerW {
+		t.Errorf("loaded draw %.2f W not above idle %.2f W", loaded.AvgPowerW, r.AvgPowerW)
+	}
+}
+
+func TestIdleReproducible(t *testing.T) {
+	a, err := Idle("HDD", 0, 300*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Idle("HDD", 0, 300*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgPowerW != b.AvgPowerW {
+		t.Fatalf("idle measurement not reproducible: %v vs %v", a.AvgPowerW, b.AvgPowerW)
+	}
+}
+
+func TestIdleRejectsBadInput(t *testing.T) {
+	if _, err := Idle("SSD9", 0, time.Second, 1); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := Idle("SSD2", 7, time.Second, 1); err == nil {
+		t.Error("out-of-range power state accepted")
+	}
+	if _, err := Idle("SSD2", 0, 0, 1); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
 func TestSamplesConversion(t *testing.T) {
 	pts, err := Run(quickSpec("SSD3"))
 	if err != nil {

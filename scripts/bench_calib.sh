@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Run the learned-device-model calibration benchmark and emit its
+# metrics as JSON.
+#
+#   scripts/bench_calib.sh [out.json]
+#
+# Runs BenchmarkCalib — one iteration calibrates every catalog class in
+# the calib scenario against its mechanistic simulator, then pair-runs
+# the scenario's mixed fleet with mechanistic and fitted devices — and
+# converts the `go test -bench` metric pairs into a flat JSON object
+# written to BENCH_calib.json (or the given path). The raw benchmark
+# log is kept next to it for debugging.
+#
+# Gates (all deterministic): the worst cross-validated fit must reach
+# calib_worst_r2 >= 0.98 and calib_worst_mape_pct <= 5, and the fitted
+# fleet must agree with the mechanistic one within
+# calib_fleet_power_diff_pct <= 5. Fit wall-clock (calib_fit_s) is
+# reported but not gated — it is host-dependent by nature.
+set -eu
+
+out=${1:-BENCH_calib.json}
+log=${out%.json}.log
+
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench '^BenchmarkCalib$' -benchtime 1x -count 1 -timeout 30m . | tee "$log"
+
+awk -v out="$out" '
+/^BenchmarkCalib/ {
+    printf "{\n  \"benchmark\": \"%s\",\n  \"iterations\": %s", $1, $2 > out
+    # Fields from 3 on are value/unit pairs, e.g. `123456 ns/op 0.99 calib_worst_r2`.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        printf ",\n  \"%s\": %s", unit, $i > out
+        if (unit == "calib_worst_r2") r2 = $i
+        if (unit == "calib_worst_mape_pct") mape = $i
+        if (unit == "calib_fleet_power_diff_pct") pow = $i
+    }
+    printf "\n}\n" > out
+    found = 1
+}
+END {
+    if (!found) {
+        print "bench_calib.sh: no BenchmarkCalib result in output" > "/dev/stderr"
+        exit 1
+    }
+    if (r2 + 0 < 0.98) {
+        printf "bench_calib.sh: worst CV R2 %.4f under the 0.98 gate\n", r2 > "/dev/stderr"
+        exit 1
+    }
+    if (mape + 0 > 5) {
+        printf "bench_calib.sh: worst CV MAPE %.2f%% over the 5%% gate\n", mape > "/dev/stderr"
+        exit 1
+    }
+    if (pow + 0 > 5) {
+        printf "bench_calib.sh: fleet power disagreement %.2f%% over the 5%% gate\n", pow > "/dev/stderr"
+        exit 1
+    }
+}
+' "$log"
+
+echo "wrote $out:"
+cat "$out"
