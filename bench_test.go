@@ -10,6 +10,7 @@ package wattio_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"wattio/internal/serve"
 	"wattio/internal/sim"
 	"wattio/internal/ssd"
+	"wattio/internal/telemetry"
 	"wattio/internal/workload"
 )
 
@@ -634,6 +636,66 @@ func BenchmarkAblationHostLink(b *testing.B) {
 				readBW = res.BandwidthMBps
 			}
 			b.ReportMetric(readBW, "seqread_MBps")
+		})
+	}
+}
+
+// BenchmarkScaleServe runs the group-parked hybrid tier at 10⁴, 10⁵,
+// and 10⁶ devices under the stepped curtail-and-recover budget (which
+// splits every cohort across hull levels, exercising the bucket-shaped
+// control scan). Each point reports peak live heap per device,
+// allocations per device, wall-clock seconds, and the plan-slot count —
+// the evidence that parked work scales with buckets, not lanes.
+// scripts/bench_scale.sh turns the series into BENCH_scale.json and
+// gates bytes/device at the million-device point. -short keeps only the
+// 10⁴ point, sized for CI smoke runs.
+func BenchmarkScaleServe(b *testing.B) {
+	for _, size := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			if testing.Short() && size > 10_000 {
+				b.Skip("large scale points skipped in -short mode")
+			}
+			sp := scenario.BuiltIn("meso")
+			sp.Fleet.Size = size
+			sp.Fleet.RateIOPS = 500
+			sp.Fleet.Budget = "" // stepped default: forces a bucket split per step
+			sp.Fleet.Meso.GroupMin = 64
+			sp.Fleet.Meso.Probes = 2
+			spec, err := sp.ServeSpec(2 * time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep *serve.Report
+			var wallNS float64
+			var peakAlloc, allocs uint64
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				var m0 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				mw := telemetry.WatchMem(20 * time.Millisecond)
+				t0 := time.Now()
+				if rep, err = serve.Run(spec); err != nil {
+					b.Fatal(err)
+				}
+				wallNS = float64(time.Since(t0))
+				peakAlloc, _ = mw.Stop()
+				var m1 runtime.MemStats
+				runtime.ReadMemStats(&m1)
+				allocs = m1.Mallocs - m0.Mallocs
+			}
+			if rep.MesoGroupLanes == 0 || rep.MesoGroupBuckets == 0 {
+				b.Fatalf("nothing virtualized: lanes=%d buckets=%d", rep.MesoGroupLanes, rep.MesoGroupBuckets)
+			}
+			if !rep.CapOK || !rep.TrackOK || !rep.MesoDriftOK {
+				b.Fatalf("gates failed at n=%d: cap=%v track=%v drift=%v (worst %.4f)",
+					size, rep.CapOK, rep.TrackOK, rep.MesoDriftOK, rep.MesoWorstDriftFrac)
+			}
+			b.ReportMetric(float64(peakAlloc)/float64(size), "scale_bytes_per_device")
+			b.ReportMetric(float64(allocs)/float64(size), "scale_allocs_per_device")
+			b.ReportMetric(wallNS/1e9, "scale_wall_s")
+			b.ReportMetric(float64(rep.MesoGroupScans), "scale_plan_slots")
+			b.ReportMetric(float64(rep.MesoGroupBuckets), "scale_buckets")
+			b.ReportMetric(float64(rep.MesoGroupLanes), "scale_virtual_lanes")
 		})
 	}
 }

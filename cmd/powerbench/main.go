@@ -77,6 +77,9 @@ func run(argv []string, stdout, errw io.Writer) int {
 		fleetMeso   = fs.Bool("meso", false, "fleet experiment: serve steady lanes through the mesoscale analytic tier")
 		mesoDwell   = fs.Int("mesodwell", 0, "meso tier: steady control periods before a lane dehydrates (0 = default)")
 		mesoDrift   = fs.Float64("mesodrift", 0, "meso tier: sentinel drift tolerance fraction (0 = default)")
+		mesoGroup   = fs.Int("mesogroup", 0, "meso tier: group-park cohorts of at least this many devices behind probe lanes (0 = off; implies -meso)")
+		mesoProbes  = fs.Int("mesoprobes", 0, "meso tier: resident probe lanes per group-parked cohort (0 = default)")
+		memWatch    = fs.Bool("mem", false, "print peak live-heap bytes and object count after the run (terminal only; host-dependent)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -133,14 +136,16 @@ func run(argv []string, stdout, errw io.Writer) int {
 	// The fleet flags ride along as a second override layer; zero values
 	// mean "take the scenario's (or the experiment's default) value".
 	s.Fleet = experiments.FleetOptions{
-		Size:      *fleetSize,
-		Replicas:  *fleetRepl,
-		RateIOPS:  *fleetRate,
-		Budget:    *fleetBudget,
-		FaultFrac: *fleetFaults,
-		Meso:      *fleetMeso,
-		MesoDwell: *mesoDwell,
-		MesoDrift: *mesoDrift,
+		Size:         *fleetSize,
+		Replicas:     *fleetRepl,
+		RateIOPS:     *fleetRate,
+		Budget:       *fleetBudget,
+		FaultFrac:    *fleetFaults,
+		Meso:         *fleetMeso,
+		MesoDwell:    *mesoDwell,
+		MesoDrift:    *mesoDrift,
+		MesoGroupMin: *mesoGroup,
+		MesoProbes:   *mesoProbes,
 	}
 
 	var todo []experiments.Experiment
@@ -214,6 +219,14 @@ func run(argv []string, stdout, errw io.Writer) int {
 	}
 	var benchLog []benchEntry
 
+	// Peak-heap sampling is terminal-only for the same reason as the
+	// wall-clock lines: the readings are host-dependent, and the -out
+	// file must stay bit-identical across runs.
+	var mw *telemetry.MemWatch
+	if *memWatch {
+		mw = telemetry.WatchMem(0)
+	}
+
 	for _, e := range todo {
 		start := time.Now()
 		if *csvDir != "" {
@@ -246,6 +259,11 @@ func run(argv []string, stdout, errw io.Writer) int {
 			benchLog = append(benchLog, benchEntry{ID: e.ID, WallMS: float64(elapsed.Microseconds()) / 1000})
 		}
 		fmt.Fprintf(stdout, "[%s done in %v]\n", e.ID, elapsed.Round(time.Millisecond))
+	}
+
+	if mw != nil {
+		alloc, objs := mw.Stop()
+		fmt.Fprintf(stdout, "[mem: peak heap %.1f MiB, %d live objects]\n", float64(alloc)/(1<<20), objs)
 	}
 
 	if tracer != nil {

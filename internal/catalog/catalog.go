@@ -302,26 +302,17 @@ func Names() []string { return []string{"SSD1", "SSD2", "SSD3", "HDD", "EVO", "C
 // chosen instance name. Fleet-scale layers (internal/serve) instantiate
 // hundreds of devices from the same profile; each needs a unique name
 // because models, budget controllers, and telemetry lanes key on it.
+// Each instance re-labels a copy of the class's interned config
+// template, so the immutable per-class tables (power states,
+// non-operational states) are shared by reference across the whole
+// fleet instead of reallocated per device.
 func NewNamed(profile, name string, eng *sim.Engine, rng *sim.RNG) (device.Device, bool) {
-	switch profile {
-	case "SSD1", "SSD2", "SSD3", "EVO", "C960":
-		var cfg ssd.Config
-		switch profile {
-		case "SSD1":
-			cfg = SSD1Config()
-		case "SSD2":
-			cfg = SSD2Config()
-		case "SSD3":
-			cfg = SSD3Config()
-		case "EVO":
-			cfg = EVOConfig()
-		case "C960":
-			cfg = C960Config()
-		}
+	if cfg, ok := internedConfig(profile); ok {
 		cfg.Name = name
 		return mustSSD(cfg, eng, rng), true
-	case "HDD":
-		cfg := HDDConfig()
+	}
+	if profile == "HDD" {
+		cfg := internedHDDConfig()
 		cfg.Name = name
 		d, err := hdd.New(cfg, eng, rng)
 		if err != nil {

@@ -1,0 +1,36 @@
+package catalog
+
+import (
+	"wattio/internal/hdd"
+	"wattio/internal/ssd"
+)
+
+// Interned per-class config templates. The public SSD*Config
+// constructors build a fresh value (with fresh slices) on every call so
+// callers may tweak them, but a fleet materializing 10⁵-10⁶ instances
+// of the same class must not pay a slice allocation per device for
+// tables that never change. NewNamed copies a template struct instead:
+// the copy shares the immutable PowerStates/NonOpStates backing arrays
+// across every instance of the class (the device models only ever read
+// them — ssd.SSD.PowerStates() already hands callers a copy).
+var (
+	ssdTemplates = map[string]ssd.Config{
+		"SSD1": SSD1Config(),
+		"SSD2": SSD2Config(),
+		"SSD3": SSD3Config(),
+		"EVO":  EVOConfig(),
+		"C960": C960Config(),
+	}
+	hddTemplate = HDDConfig()
+)
+
+// internedConfig returns the shared config template of an SSD-family
+// profile. The caller owns the returned struct copy but must not mutate
+// its slice fields, which alias every other instance of the class.
+func internedConfig(profile string) (ssd.Config, bool) {
+	cfg, ok := ssdTemplates[profile]
+	return cfg, ok
+}
+
+// internedHDDConfig returns the shared HDD config template.
+func internedHDDConfig() hdd.Config { return hddTemplate }

@@ -1,0 +1,127 @@
+package catalog
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/hdd"
+	"wattio/internal/sim"
+	"wattio/internal/ssd"
+	"wattio/internal/workload"
+)
+
+// TestInternedTemplatesMatchConstructors: the shared templates must be
+// exactly what the public constructors build — interning changes
+// allocation, never calibration.
+func TestInternedTemplatesMatchConstructors(t *testing.T) {
+	t.Parallel()
+	fresh := map[string]ssd.Config{
+		"SSD1": SSD1Config(),
+		"SSD2": SSD2Config(),
+		"SSD3": SSD3Config(),
+		"EVO":  EVOConfig(),
+		"C960": C960Config(),
+	}
+	for name, want := range fresh {
+		got, ok := internedConfig(name)
+		if !ok {
+			t.Fatalf("no interned template for %s", name)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("interned %s config diverges from its constructor", name)
+		}
+	}
+	if got := internedHDDConfig(); !reflect.DeepEqual(got, HDDConfig()) {
+		t.Error("interned HDD config diverges from its constructor")
+	}
+}
+
+// TestInternSharesBackingArrays: every instance of a class must share
+// one immutable slice backing array — that sharing is the flyweight.
+func TestInternSharesBackingArrays(t *testing.T) {
+	t.Parallel()
+	a, _ := internedConfig("SSD2")
+	b, _ := internedConfig("SSD2")
+	if len(a.PowerStates) == 0 || &a.PowerStates[0] != &b.PowerStates[0] {
+		t.Error("SSD2 power-state tables are not shared across instances")
+	}
+	c, _ := internedConfig("C960")
+	d, _ := internedConfig("C960")
+	if len(c.NonOpStates) == 0 || &c.NonOpStates[0] != &d.NonOpStates[0] {
+		t.Error("C960 non-op-state tables are not shared across instances")
+	}
+}
+
+// TestInternBitIdenticalDevices runs the same seeded workload on a
+// device built through the interned NewNamed path and one built from a
+// fresh constructor config, and requires bit-identical results.
+func TestInternBitIdenticalDevices(t *testing.T) {
+	t.Parallel()
+	job := workload.Job{
+		Op: device.OpWrite, Pattern: workload.Rand, BS: 64 * KiB, Depth: 8,
+		Runtime: 500 * time.Millisecond, TotalBytes: 64 * MiB,
+	}
+	run := func(dev device.Device, eng *sim.Engine, rng *sim.RNG) (workload.Result, float64) {
+		res := workload.Run(eng, dev, job, rng)
+		return res, dev.EnergyJ()
+	}
+	same := func(a, b workload.Result) bool {
+		return a.IOs == b.IOs && a.Bytes == b.Bytes && a.Elapsed == b.Elapsed &&
+			a.BandwidthMBps == b.BandwidthMBps && a.IOPS == b.IOPS &&
+			a.LatAvg == b.LatAvg && a.LatP50 == b.LatP50 && a.LatP99 == b.LatP99 && a.LatMax == b.LatMax &&
+			reflect.DeepEqual(a.Latencies, b.Latencies)
+	}
+
+	for _, profile := range []string{"SSD1", "SSD2", "SSD3", "EVO", "C960"} {
+		t.Run(profile, func(t *testing.T) {
+			t.Parallel()
+			engA, rngA := sim.NewEngine(), sim.NewRNG(9)
+			devA, ok := NewNamed(profile, profile, engA, rngA.Stream("dev"))
+			if !ok {
+				t.Fatalf("NewNamed(%s) failed", profile)
+			}
+			resA, eA := run(devA, engA, rngA.Stream("wl"))
+
+			cfg, _ := internedConfig(profile)
+			fresh := map[string]func() ssd.Config{
+				"SSD1": SSD1Config, "SSD2": SSD2Config, "SSD3": SSD3Config,
+				"EVO": EVOConfig, "C960": C960Config,
+			}[profile]()
+			fresh.Name = cfg.Name
+			engB, rngB := sim.NewEngine(), sim.NewRNG(9)
+			devB, err := ssd.New(fresh, engB, rngB.Stream("dev"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resB, eB := run(devB, engB, rngB.Stream("wl"))
+
+			if !same(resA, resB) || eA != eB {
+				t.Fatalf("interned vs fresh diverged:\n  interned ios=%d %.9f J\n  fresh    ios=%d %.9f J", resA.IOs, eA, resB.IOs, eB)
+			}
+		})
+	}
+
+	t.Run("HDD", func(t *testing.T) {
+		t.Parallel()
+		engA, rngA := sim.NewEngine(), sim.NewRNG(9)
+		devA, ok := NewNamed("HDD", "HDD", engA, rngA.Stream("dev"))
+		if !ok {
+			t.Fatal("NewNamed(HDD) failed")
+		}
+		resA, eA := run(devA, engA, rngA.Stream("wl"))
+
+		fresh := HDDConfig()
+		fresh.Name = "HDD"
+		engB, rngB := sim.NewEngine(), sim.NewRNG(9)
+		devB, err := hdd.New(fresh, engB, rngB.Stream("dev"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resB, eB := run(devB, engB, rngB.Stream("wl"))
+		if !same(resA, resB) || eA != eB {
+			t.Fatalf("interned vs fresh diverged:\n  interned ios=%d %.9f J\n  fresh    ios=%d %.9f J", resA.IOs, eA, resB.IOs, eB)
+		}
+	})
+}

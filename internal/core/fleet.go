@@ -80,7 +80,7 @@ func (f *Fleet) build() []*planNode {
 	}
 	acc := []*planNode{{}}
 	for _, m := range f.models {
-		frontier := m.ParetoFrontier()
+		frontier := m.paretoFrontier()
 		next := make([]*planNode, 0, len(acc)*len(frontier))
 		for _, a := range acc {
 			for _, s := range frontier {
@@ -189,7 +189,7 @@ func (f *Fleet) BestUnderPower(budgetW float64) (best Assignment, ok bool) {
 func (f *Fleet) peakAssignment(budgetW float64) (Assignment, bool) {
 	a := Assignment{Configs: make(map[string]Sample, len(f.models))}
 	for _, m := range f.models {
-		fr := m.ParetoFrontier()
+		fr := m.paretoFrontier()
 		s := fr[len(fr)-1]
 		a.Configs[m.Device()] = s
 		a.TotalPowerW += s.PowerW

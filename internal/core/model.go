@@ -57,6 +57,8 @@ type Model struct {
 	maxPower float64
 	minPower float64
 	maxTput  float64
+	// frontier caches paretoFrontier; nil until first query.
+	frontier []Sample
 }
 
 // NewModel builds a model from measured samples. All samples must be
@@ -155,6 +157,22 @@ func (m *Model) Filter(keep func(Sample) bool) (*Model, error) {
 // increasing power. These are the only configurations a rational
 // controller ever selects.
 func (m *Model) ParetoFrontier() []Sample {
+	fr := m.paretoFrontier()
+	out := make([]Sample, len(fr))
+	copy(out, fr)
+	return out
+}
+
+// paretoFrontier is the cached, shared-slice form of ParetoFrontier:
+// samples never change after NewModel, so the sort-and-scan runs once
+// per model instead of once per query. Fleet planning (build,
+// peakAssignment) hits this on every re-plan per model; callers must
+// not mutate the returned slice. Models are confined to one goroutine
+// (a shard, a sweep worker), so the lazy fill needs no lock.
+func (m *Model) paretoFrontier() []Sample {
+	if m.frontier != nil {
+		return m.frontier
+	}
 	sorted := m.Samples()
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].PowerW != sorted[j].PowerW {
@@ -162,7 +180,7 @@ func (m *Model) ParetoFrontier() []Sample {
 		}
 		return sorted[i].ThroughputMBps > sorted[j].ThroughputMBps
 	})
-	var out []Sample
+	out := sorted[:0]
 	best := -1.0
 	for _, s := range sorted {
 		if s.ThroughputMBps > best {
@@ -170,6 +188,7 @@ func (m *Model) ParetoFrontier() []Sample {
 			best = s.ThroughputMBps
 		}
 	}
+	m.frontier = out
 	return out
 }
 

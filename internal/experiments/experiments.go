@@ -56,6 +56,12 @@ type FleetOptions struct {
 	Meso      bool
 	MesoDwell int
 	MesoDrift float64
+	// MesoGroupMin enables group-level parking on top of the meso tier:
+	// cohorts of at least this many interchangeable devices keep only
+	// MesoProbes resident probe lanes and account the rest as shared
+	// analytic aggregates. Zero keeps every lane materialized.
+	MesoGroupMin int
+	MesoProbes   int
 }
 
 // Paper is the published methodology's scale.

@@ -49,12 +49,21 @@ func FleetSpec(s Scale) (serve.Spec, error) {
 		}
 		sp.Fleet.Meso.Enable = true
 	}
+	if o.MesoGroupMin != 0 && sp.Fleet.Meso == nil {
+		sp.Fleet.Meso = &scenario.MesoSpec{Enable: true}
+	}
 	if sp.Fleet.Meso != nil {
 		if o.MesoDwell != 0 {
 			sp.Fleet.Meso.DwellPeriods = o.MesoDwell
 		}
 		if o.MesoDrift != 0 {
 			sp.Fleet.Meso.DriftTolFrac = o.MesoDrift
+		}
+		if o.MesoGroupMin != 0 {
+			sp.Fleet.Meso.GroupMin = o.MesoGroupMin
+		}
+		if o.MesoProbes != 0 {
+			sp.Fleet.Meso.Probes = o.MesoProbes
 		}
 	}
 	sp.Seed, sp.FaultSeed = s.Seed, s.FaultSeed
@@ -99,6 +108,10 @@ func runFleet(s Scale, w io.Writer) error {
 		fmt.Fprintf(w, "meso: %d dehydrations / %d rehydrations, %d parked periods, %.1f J analytic, drift %s (worst %.4f)\n",
 			rep.MesoDehydrations, rep.MesoRehydrations, rep.MesoParkedPeriods, rep.MesoAggJ,
 			okStr(rep.MesoDriftOK), rep.MesoWorstDriftFrac)
+	}
+	if spec.MesoGroupMin > 0 {
+		fmt.Fprintf(w, "meso group: %d virtual lanes in %d buckets, %d plan slots scanned, %.1f J aggregate\n",
+			rep.MesoGroupLanes, rep.MesoGroupBuckets, rep.MesoGroupScans, rep.MesoGroupJ)
 	}
 	fmt.Fprintf(w, "invariants: power-cap probe %s (worst window %.1f W)\n", okStr(rep.CapOK), rep.CapWorstW)
 

@@ -1,0 +1,283 @@
+package meso
+
+import (
+	"fmt"
+	"time"
+)
+
+// Group-level parking: at fleet sizes past ~10⁵ lanes, even one
+// analytic aggregate per lane is too much state and too much per-tick
+// work. A GroupPool instead represents an entire cohort of
+// interchangeable lanes (same profile, same offered rate, no faults) as
+// a handful of buckets keyed by (cohort, planning state), each carrying
+// only a member count and one calibrated per-lane operating point. The
+// serving engine keeps a few resident probe lanes per cohort running
+// mechanistically; every other member is virtual — never materialized —
+// and accounted here in O(#buckets) per control period.
+//
+// Calibration is retroactive: a bucket accrues no live energy until a
+// probe lane of its cohort parks at the bucket's state and donates its
+// measured draw. The uncalibrated stretch is recorded as pending spans
+// (virtual lane-seconds), and Calibrate converts them into backfill
+// spans the caller amends into its per-interval accounting — so the
+// virtual population's energy is always derived from a measured
+// operating point, never from a planning prediction. IO counts need no
+// calibration at all (the offered rate is power-state-independent), so
+// they accrue per cohort with one exact fractional carry.
+//
+// Like Pool, everything is pure arithmetic on virtual time: no engine,
+// no RNG, deterministic at any host parallelism.
+
+// GroupKey identifies one bucket: a cohort of interchangeable lanes and
+// the planning level its members currently hold.
+type GroupKey struct {
+	Cohort int
+	State  int
+}
+
+// BackfillSpan is an uncalibrated stretch of virtual serving owed to
+// the caller's interval accounting: Joules of energy spread uniformly
+// over [From, To).
+type BackfillSpan struct {
+	From, To time.Duration
+	Joules   float64
+}
+
+// pendSpan is a closed stretch of uncalibrated membership.
+type pendSpan struct {
+	from, to time.Duration
+	count    int
+}
+
+type groupBucket struct {
+	key   GroupKey
+	count int
+	// op is the calibrated per-lane draw in watts; meaningful once
+	// calibrated. calN counts the measurements folded into it (running
+	// mean), so repeated probe parks refine the point deterministically.
+	op         float64
+	calibrated bool
+	calN       int
+	// since is the start of the bucket's current span — live accrual
+	// when calibrated, pending when not.
+	since time.Duration
+	pend  []pendSpan
+}
+
+// cohortIO integrates a cohort's virtual IO: rate is the same at every
+// power state, so one counter and one fractional carry per cohort keep
+// the credited count exactly rate × member-seconds.
+type cohortIO struct {
+	count int
+	lastT time.Duration
+	carry float64
+	ios   int64
+}
+
+// GroupPool holds the group-parked aggregates of one shard. Not safe
+// for concurrent use; shards are single-threaded by construction.
+type GroupPool struct {
+	rateIOPS   float64 // per-lane offered rate
+	bytesPerIO int64
+
+	buckets map[GroupKey]*groupBucket
+	order   []*groupBucket // deterministic iteration (insertion order)
+	cohorts map[int]*cohortIO
+
+	members  int     // current virtual members across all buckets
+	settledJ float64 // closed calibrated spans
+}
+
+// NewGroupPool returns an empty pool. rateIOPS is the per-lane offered
+// rate and bytesPerIO the request size — uniform across the fleet spec,
+// so they are pool-wide.
+func NewGroupPool(rateIOPS float64, bytesPerIO int64) *GroupPool {
+	return &GroupPool{
+		rateIOPS:   rateIOPS,
+		bytesPerIO: bytesPerIO,
+		buckets:    map[GroupKey]*groupBucket{},
+		cohorts:    map[int]*cohortIO{},
+	}
+}
+
+// bucket returns (creating if needed) the bucket for key.
+func (p *GroupPool) bucket(key GroupKey) *groupBucket {
+	b, ok := p.buckets[key]
+	if !ok {
+		b = &groupBucket{key: key}
+		p.buckets[key] = b
+		p.order = append(p.order, b)
+	}
+	return b
+}
+
+// flush closes the bucket's current span at now: calibrated spans
+// settle into the energy ledger, uncalibrated spans append to the
+// pending list. Call before any count or op change.
+func (b *groupBucket) flush(p *GroupPool, now time.Duration) {
+	if b.count > 0 {
+		if b.calibrated {
+			p.settledJ += b.op * float64(b.count) * (now - b.since).Seconds()
+		} else {
+			b.pend = append(b.pend, pendSpan{from: b.since, to: now, count: b.count})
+		}
+	}
+	b.since = now
+}
+
+// accrueIO integrates a cohort's IO up to now.
+func (c *cohortIO) accrue(rate float64, now time.Duration) {
+	if c.count > 0 {
+		exact := rate*float64(c.count)*(now-c.lastT).Seconds() + c.carry
+		n := int64(exact)
+		c.ios += n
+		c.carry = exact - float64(n)
+	}
+	c.lastT = now
+}
+
+// SetCount sets the member count of a bucket at virtual time now,
+// flushing its span so past accrual is unaffected. The cohort's IO
+// integration absorbs the membership delta exactly.
+func (p *GroupPool) SetCount(key GroupKey, n int, now time.Duration) {
+	if n < 0 {
+		panic(fmt.Sprintf("meso: bucket %v count %d negative", key, n))
+	}
+	b := p.bucket(key)
+	if n == b.count {
+		return
+	}
+	c, ok := p.cohorts[key.Cohort]
+	if !ok {
+		c = &cohortIO{lastT: now}
+		p.cohorts[key.Cohort] = c
+	}
+	c.accrue(p.rateIOPS, now)
+	b.flush(p, now)
+	c.count += n - b.count
+	p.members += n - b.count
+	b.count = n
+}
+
+// Count returns the bucket's current member count (0 if absent).
+func (p *GroupPool) Count(key GroupKey) int {
+	if b, ok := p.buckets[key]; ok {
+		return b.count
+	}
+	return 0
+}
+
+// Calibrated reports whether the bucket has a measured operating point.
+func (p *GroupPool) Calibrated(key GroupKey) bool {
+	b, ok := p.buckets[key]
+	return ok && b.calibrated
+}
+
+// Op returns the bucket's calibrated per-lane draw; meaningful only
+// when Calibrated.
+func (p *GroupPool) Op(key GroupKey) float64 {
+	if b, ok := p.buckets[key]; ok {
+		return b.op
+	}
+	return 0
+}
+
+// PendingSince returns the start of the bucket's oldest pending span
+// and true when the bucket holds members but no calibration yet.
+func (p *GroupPool) PendingSince(key GroupKey) (time.Duration, bool) {
+	b, ok := p.buckets[key]
+	if !ok || b.calibrated || b.count == 0 {
+		return 0, false
+	}
+	if len(b.pend) > 0 {
+		return b.pend[0].from, true
+	}
+	return b.since, true
+}
+
+// Calibrate folds one measured per-lane draw into the bucket. The first
+// measurement converts every pending span into backfill owed to the
+// caller's interval accounting and starts live accrual; later
+// measurements refine the operating point as a running mean (settling
+// the span accrued under the previous value first) and return nil.
+func (p *GroupPool) Calibrate(key GroupKey, watts float64, now time.Duration) []BackfillSpan {
+	if watts < 0 {
+		panic(fmt.Sprintf("meso: bucket %v calibrated to negative draw %v", key, watts))
+	}
+	b := p.bucket(key)
+	b.flush(p, now)
+	if b.calibrated {
+		b.calN++
+		b.op += (watts - b.op) / float64(b.calN)
+		return nil
+	}
+	b.calibrated = true
+	b.op = watts
+	b.calN = 1
+	if len(b.pend) == 0 {
+		return nil
+	}
+	// Backfill energy is owed to the CALLER's interval accounting, not
+	// this ledger: EnergyJ must stay smooth in now (a settledJ lump here
+	// would double-count against the amended intervals and spike any
+	// sliding-window probe reading it).
+	out := make([]BackfillSpan, 0, len(b.pend))
+	for _, s := range b.pend {
+		j := watts * float64(s.count) * (s.to - s.from).Seconds()
+		out = append(out, BackfillSpan{From: s.from, To: s.to, Joules: j})
+	}
+	b.pend = nil
+	return out
+}
+
+// Has reports whether the bucket exists (was ever given members).
+func (p *GroupPool) Has(key GroupKey) bool {
+	_, ok := p.buckets[key]
+	return ok
+}
+
+// Members returns the current virtual member count across all buckets.
+func (p *GroupPool) Members() int { return p.members }
+
+// Buckets returns how many distinct buckets exist (ever created).
+func (p *GroupPool) Buckets() int { return len(p.order) }
+
+// LiveBuckets returns how many buckets currently hold members — the
+// per-control-period scan cost.
+func (p *GroupPool) LiveBuckets() int {
+	n := 0
+	for _, b := range p.order {
+		if b.count > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// EnergyJ returns the energy the pool accounts up to now: settled spans
+// plus live accrual of calibrated buckets. Pending (uncalibrated) spans
+// are excluded until Calibrate converts them to backfill, so the value
+// is smooth and monotone in now — safe to feed a sliding-window cap
+// probe. O(#buckets).
+func (p *GroupPool) EnergyJ(now time.Duration) float64 {
+	j := p.settledJ
+	for _, b := range p.order {
+		if b.calibrated && b.count > 0 {
+			j += b.op * float64(b.count) * (now - b.since).Seconds()
+		}
+	}
+	return j
+}
+
+// SettleIO integrates every cohort's virtual IO through now and returns
+// the total synthetic counts accrued since the last call. Map iteration
+// order is irrelevant: cohorts integrate independently and the results
+// are summed.
+func (p *GroupPool) SettleIO(now time.Duration) (ios, bytes int64) {
+	for _, c := range p.cohorts {
+		c.accrue(p.rateIOPS, now)
+		ios += c.ios
+		c.ios = 0
+	}
+	return ios, ios * p.bytesPerIO
+}

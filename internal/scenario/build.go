@@ -73,6 +73,8 @@ func (s *Spec) ServeSpec(horizon time.Duration) (serve.Spec, error) {
 		sp.Meso = true
 		sp.MesoDwellPeriods = m.DwellPeriods
 		sp.MesoDriftTolFrac = m.DriftTolFrac
+		sp.MesoGroupMin = m.GroupMin
+		sp.MesoProbes = m.Probes
 	}
 	if c := f.Calib; c != nil && c.Enable {
 		profiles := f.Profiles

@@ -45,8 +45,12 @@ const Version = 2
 // Validate must always be cheap enough to build.
 const (
 	maxDeviceCount = 4096
-	maxFleetSize   = 1 << 20
-	maxRolloutDim  = 1 << 16
+	// maxFleetSize admits million-device fleets: with the group-parked
+	// meso tier the builder materializes only probes and faulted members,
+	// and validation is O(#device-stanzas), so the bound is a sanity rail
+	// rather than a cost ceiling.
+	maxFleetSize  = 1 << 24
+	maxRolloutDim = 1 << 16
 )
 
 // Spec is one complete, self-contained run description.
@@ -208,6 +212,14 @@ type MesoSpec struct {
 	// calibrated operating point by more than this fraction bars the
 	// lane from parking again and fails the drift probe. Default 0.10.
 	DriftTolFrac float64 `json:"drift_tol_frac,omitempty"`
+	// GroupMin enables group-level parking: cohorts of at least this
+	// many interchangeable members keep only a few resident probe lanes
+	// and account the rest as shared analytic aggregates. 0 (default)
+	// keeps every lane materialized.
+	GroupMin int `json:"group_min,omitempty"`
+	// Probes is the number of resident probe lanes per virtualized
+	// cohort; meaningful only with GroupMin > 0. Default 2.
+	Probes int `json:"probes,omitempty"`
 }
 
 // CalibSpec parameterizes the learned-device-model substitution: the
@@ -628,6 +640,15 @@ func (f *FleetSpec) validate(path string) error {
 		}
 		if m.DriftTolFrac < 0 {
 			return pathErr(path+".meso.drift_tol_frac", "negative drift tolerance %v", m.DriftTolFrac)
+		}
+		if m.GroupMin < 0 {
+			return pathErr(path+".meso.group_min", "negative group minimum %d", m.GroupMin)
+		}
+		if m.Probes < 0 {
+			return pathErr(path+".meso.probes", "negative probe count %d", m.Probes)
+		}
+		if m.Probes > 0 && m.GroupMin == 0 {
+			return pathErr(path+".meso.probes", "probe count set without group parking (set group_min)")
 		}
 	}
 	if c := f.Calib; c != nil {

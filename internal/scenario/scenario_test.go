@@ -185,11 +185,14 @@ func TestValidateRejectsWithPath(t *testing.T) {
 		{"unknown fleet instance", func(s *Spec) { s.Fleet.Faults[0].Device = "SSD2#99999" }, "fleet.faults[0].device"},
 		{"empty fault windows", func(s *Spec) { s.Fleet.Faults[0].Windows = nil }, "fleet.faults[0].windows"},
 		{"indivisible replicas", func(s *Spec) { s.Fleet.Size = 10; s.Fleet.Replicas = 4; s.Fleet.Faults = nil }, "fleet.replicas"},
-		{"oversize fleet", func(s *Spec) { s.Fleet.Size = 1<<20 + 2; s.Fleet.Faults = nil }, "fleet.size"},
+		{"oversize fleet", func(s *Spec) { s.Fleet.Size = maxFleetSize + 2; s.Fleet.Faults = nil }, "fleet.size"},
 		{"fault frac", func(s *Spec) { s.Fleet.FaultFrac = 1.5 }, "fleet.fault_frac"},
 		{"bad arrival", func(s *Spec) { s.Fleet.Arrival = "bursty" }, "fleet.arrival"},
 		{"negative meso dwell", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, DwellPeriods: -1} }, "fleet.meso.dwell_periods"},
 		{"negative meso drift", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, DriftTolFrac: -0.1} }, "fleet.meso.drift_tol_frac"},
+		{"negative group min", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, GroupMin: -4} }, "fleet.meso.group_min"},
+		{"negative probes", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, GroupMin: 4, Probes: -1} }, "fleet.meso.probes"},
+		{"probes without group", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, Probes: 2} }, "fleet.meso.probes"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"wattio/internal/device"
+	"wattio/internal/fault"
+	"wattio/internal/meso"
+	"wattio/internal/sim"
+	"wattio/internal/telemetry/invariant"
+)
+
+// Group-level parking (Spec.MesoGroupMin): a shard's lanes of one
+// profile form a cohort of interchangeable members. Big cohorts keep
+// only a few resident probe lanes (plus any fault-injected members) in
+// mechanistic simulation; the rest are virtual — no devices, no
+// governors, no arrival streams — accounted by meso.GroupPool buckets
+// keyed (cohort, power state). Planning happens on shared per-profile
+// concave hulls (groupplan.go) in O(#buckets); probes donate measured
+// operating points to their bucket when they park, and the energy the
+// virtual population accrued before its first calibration is backfilled
+// retroactively into the shard's interval accounting — always from a
+// measurement, with the planning table only as a settle-time fallback
+// for buckets no probe ever reached.
+//
+// Everything runs on the shard's single goroutine and virtual clock, so
+// the determinism contract is untouched: same spec, same report, at any
+// GOMAXPROCS.
+
+// preFault is one pre-drawn fault outcome: the windows and the
+// instance's retained fault stream (the inject sub-stream must derive
+// from the same position the draw left it at).
+type preFault struct {
+	wins []fault.Window
+	ds   *sim.RNG
+}
+
+// groupCohort is one profile's member set within a shard.
+type groupCohort struct {
+	pi      int // profile index — the global cohort id
+	profile string
+	count   int // members in this shard, residents included
+	hull    []hullLevel
+
+	// resOrder lists resident lane indices, probes first (they can park
+	// and calibrate) then barred members (faulted); resLevel is each
+	// resident's current hull index. probes is the probe prefix length.
+	resOrder []int
+	resLevel []int
+	probes   int
+}
+
+type groupState struct {
+	s    *shard
+	rng  *sim.RNG
+	pool *meso.GroupPool
+
+	// buildGroups is the ascending list of resident replica-group
+	// numbers runShard materializes; pre holds pre-drawn faults by
+	// device index.
+	buildGroups []int
+	pre         map[int]*preFault
+
+	cohorts    []groupCohort // indexed by profile index
+	laneCohort []int         // lane -> profile index
+	laneResIdx []int         // lane -> position in its cohort's resOrder
+	planW      []float64     // per device: planned draw (governor target)
+	applied    bool
+}
+
+// planGroups decides residency for every member of the shard's slice
+// and pre-draws faults, before any device exists. Residents are the
+// first MesoProbes non-faulted members of each virtualized cohort plus
+// every faulted member; cohorts smaller than MesoGroupMin stay fully
+// resident. Fault draws run for ALL members in ascending instance
+// order, so the draw each member receives is independent of how many
+// end up materialized.
+func planGroups(s *shard, rng, frng *sim.RNG, rg shardRange, scripted map[string][]fault.Window) *groupState {
+	sp := s.spec
+	g2 := &groupState{s: s, rng: rng, pre: map[int]*preFault{}}
+	g2.pool = meso.NewGroupPool(sp.RateIOPS*float64(sp.Active), sp.ChunkBytes)
+
+	P := len(sp.Profiles)
+	faultedGroup := make(map[int]bool)
+	if sp.FaultFrac > 0 || len(scripted) > 0 {
+		for g := rg.g0; g < rg.g1; g++ {
+			profile := sp.Profiles[g%P]
+			for rep := 0; rep < sp.Replicas; rep++ {
+				gi := g*sp.Replicas + rep
+				name := InstanceName(profile, gi)
+				ds := frng.Stream(name)
+				if wins, faulted := drawFault(sp, ds, scripted, name); faulted {
+					g2.pre[gi] = &preFault{wins: wins, ds: ds}
+					faultedGroup[g] = true
+				}
+			}
+		}
+	}
+
+	g2.cohorts = make([]groupCohort, P)
+	resident := make(map[int]bool)
+	for pi := 0; pi < P; pi++ {
+		c := &g2.cohorts[pi]
+		c.pi, c.profile, c.hull = pi, sp.Profiles[pi], profileHulls[sp.Profiles[pi]]
+		// Members of cohort pi are the g ≡ pi (mod P) in [g0, g1) —
+		// membership is arithmetic, never a per-member list.
+		first := rg.g0 + ((pi-rg.g0%P)%P+P)%P
+		for g := first; g < rg.g1; g += P {
+			c.count++
+		}
+		if c.count == 0 {
+			continue
+		}
+		full := c.count < sp.MesoGroupMin
+		probes := 0
+		for g := first; g < rg.g1; g += P {
+			switch {
+			case full, faultedGroup[g]:
+				resident[g] = true
+			case probes < sp.MesoProbes:
+				resident[g] = true
+				probes++
+			}
+		}
+	}
+	for g := rg.g0; g < rg.g1; g++ {
+		if resident[g] {
+			g2.buildGroups = append(g2.buildGroups, g)
+		}
+	}
+	return g2
+}
+
+// materialize builds one resident member's device, applying its
+// pre-drawn fault windows.
+func (g *groupState) materialize(profile string, gi int) (device.Device, string, bool, error) {
+	name := InstanceName(profile, gi)
+	d, err := baseDevice(g.s.spec, g.s.eng, g.rng, profile, name)
+	if err != nil {
+		return nil, "", false, err
+	}
+	pf, ok := g.pre[gi]
+	if !ok {
+		return d, name, false, nil
+	}
+	fd, err := fault.New(d, g.s.eng, pf.ds.Stream("inject"), fault.Profile{Windows: pf.wins})
+	if err != nil {
+		return nil, "", false, fmt.Errorf("fault windows for %s: %w", name, err)
+	}
+	return fd, name, true, nil
+}
+
+// finishBuild runs after the resident lanes exist: map lanes to cohort
+// slots (probes ahead of barred members, each in build order) and apply
+// the initial plan.
+func (g *groupState) finishBuild() {
+	s := g.s
+	P := len(s.spec.Profiles)
+	g.laneCohort = make([]int, len(s.lanes))
+	g.laneResIdx = make([]int, len(s.lanes))
+	g.planW = append([]float64(nil), s.maxW...)
+	barred := make([][]int, len(g.cohorts))
+	for li, gnum := range s.laneGroup {
+		pi := gnum % P
+		g.laneCohort[li] = pi
+		if s.laneFaulted[li] {
+			barred[pi] = append(barred[pi], li)
+		} else {
+			g.cohorts[pi].resOrder = append(g.cohorts[pi].resOrder, li)
+		}
+	}
+	virtual := 0
+	for pi := range g.cohorts {
+		c := &g.cohorts[pi]
+		c.probes = len(c.resOrder)
+		c.resOrder = append(c.resOrder, barred[pi]...)
+		c.resLevel = make([]int, len(c.resOrder))
+		for k, li := range c.resOrder {
+			g.laneResIdx[li] = k
+		}
+		virtual += c.count - len(c.resOrder)
+	}
+	s.res.MesoGroupLanes = virtual
+	g.apply(s.spec.Budget[0].FleetW)
+}
+
+// apply is the group-mode re-plan: bulk-allocate every cohort member to
+// a hull level under the shard's budget slice, retarget resident
+// devices and governors, and move bucket counts — O(#buckets +
+// #residents), independent of the virtual population.
+func (g *groupState) apply(fleetW float64) {
+	s := g.s
+	sp := s.spec
+	now := s.eng.Now()
+	slice := fleetW * float64(s.devTotal) / float64(sp.Size)
+
+	demands := make([]cohortDemand, len(g.cohorts))
+	for pi := range g.cohorts {
+		c := &g.cohorts[pi]
+		demands[pi] = cohortDemand{hull: c.hull, count: c.count, laneScale: float64(sp.Replicas)}
+	}
+	dist, ok := planShares(demands, slice)
+	if !ok {
+		// Infeasible slice: keep the previous assignment (first apply:
+		// everything at the top level, matching the devices' power-on
+		// states) rather than thrash.
+		s.res.Infeasible++
+		if g.applied {
+			return
+		}
+		dist = make([][]int, len(g.cohorts))
+		for pi := range g.cohorts {
+			c := &g.cohorts[pi]
+			dist[pi] = make([]int, len(c.hull))
+			dist[pi][len(c.hull)-1] = c.count
+		}
+	} else {
+		s.res.Replans++
+	}
+
+	for pi := range g.cohorts {
+		c := &g.cohorts[pi]
+		if c.count == 0 {
+			continue
+		}
+		s.res.MesoGroupScans += len(c.hull)
+		rem := append([]int(nil), dist[pi]...)
+
+		// Residents take their levels from the shared distribution:
+		// first a coverage pass placing one probe on each populated
+		// level (so every live bucket has a calibration source), then
+		// the rest onto whichever level has the most members left.
+		assigned := 0
+		for j := 0; j < len(rem) && assigned < c.probes; j++ {
+			if rem[j] > 0 {
+				g.assignResident(c, assigned, j)
+				rem[j]--
+				assigned++
+			}
+		}
+		for ; assigned < len(c.resOrder); assigned++ {
+			best := -1
+			for j := range rem {
+				if rem[j] > 0 && (best < 0 || rem[j] > rem[best]) {
+					best = j
+				}
+			}
+			g.assignResident(c, assigned, best)
+			rem[best]--
+		}
+
+		// Whatever remains is the virtual population per level.
+		for j := range rem {
+			key := meso.GroupKey{Cohort: c.pi, State: c.hull[j].level}
+			if rem[j] > 0 || g.pool.Count(key) > 0 {
+				g.pool.SetCount(key, rem[j], now)
+			}
+		}
+	}
+
+	for i, gv := range s.govs {
+		if gv != nil {
+			gv.SetBudget(s.planBudget(i))
+		}
+	}
+	g.applied = true
+}
+
+// assignResident points resident k of cohort c at hull level j: its
+// devices move to the level's power state and their governor targets
+// follow. A device refusing the command (an injected power-fault) keeps
+// its state and is counted as a compensation, like the per-device
+// controller's stuck handling.
+func (g *groupState) assignResident(c *groupCohort, k, j int) {
+	s := g.s
+	c.resLevel[k] = j
+	li := c.resOrder[k]
+	r := s.spec.Replicas
+	for di := li * r; di < (li+1)*r; di++ {
+		g.planW[di] = c.hull[j].powerW
+		d := s.devs[di]
+		if len(d.PowerStates()) == 0 {
+			continue
+		}
+		if err := d.SetPowerState(c.hull[j].level); err != nil {
+			s.res.Compensations++
+		}
+	}
+}
+
+// probeParked runs when a resident probe lane parks: its dwell-window
+// measured draw calibrates the bucket its cohort-mates occupy at the
+// same level. A recalibration of an already-measured bucket feeds the
+// drift probe — the same gate sentinel re-measurements use — before
+// folding into the bucket's running mean; a first calibration converts
+// the bucket's pending spans into interval backfill.
+func (g *groupState) probeParked(lane int, watts float64, now time.Duration, drift *invariant.DriftProbe) {
+	c := &g.cohorts[g.laneCohort[lane]]
+	j := c.resLevel[g.laneResIdx[lane]]
+	key := meso.GroupKey{Cohort: c.pi, State: c.hull[j].level}
+	if !g.pool.Has(key) {
+		return // no virtual members ever held this level
+	}
+	if g.pool.Calibrated(key) {
+		drift.Observe(g.pool.Op(key), watts)
+	}
+	g.amendBackfill(g.pool.Calibrate(key, watts, now))
+}
+
+// amendBackfill distributes backfill spans into the shard's interval
+// accounting: recorded intervals are amended in place (merge computes
+// tracking from the amended values), and the portion falling inside the
+// in-progress interval rides ivCarry into its upcoming record. Virtual
+// energy thereby lands in the exact control periods it was consumed in.
+func (g *groupState) amendBackfill(spans []meso.BackfillSpan) {
+	s := g.s
+	cp := s.spec.ControlPeriod
+	for _, sp := range spans {
+		if sp.To <= sp.From {
+			continue
+		}
+		w := sp.Joules / (sp.To - sp.From).Seconds()
+		k := int(sp.From / cp)
+		for t := sp.From; t < sp.To; k++ {
+			end := time.Duration(k+1) * cp
+			if end > sp.To {
+				end = sp.To
+			}
+			j := w * (end - t).Seconds()
+			if k < s.ivIdx && k < len(s.res.IntervalEnergyJ) {
+				s.res.IntervalEnergyJ[k] += j
+			} else {
+				s.ivCarry += j
+			}
+			s.res.MesoGroupJ += j
+			t = end
+		}
+	}
+}
+
+// settle closes the group tier at the horizon: buckets no probe ever
+// calibrated fall back to their planning-table draw (backfilled like
+// any calibration), virtual IO settles into the serving counters, and
+// the bucket energy ledger lands in the report.
+func (g *groupState) settle(now time.Duration) {
+	s := g.s
+	for pi := range g.cohorts {
+		c := &g.cohorts[pi]
+		for j := range c.hull {
+			key := meso.GroupKey{Cohort: c.pi, State: c.hull[j].level}
+			if !g.pool.Has(key) || g.pool.Calibrated(key) {
+				continue
+			}
+			s.res.MesoGroupScans++
+			g.amendBackfill(g.pool.Calibrate(key, c.hull[j].powerW*float64(s.spec.Replicas), now))
+		}
+	}
+	s.res.MesoGroupJ += g.pool.EnergyJ(now)
+	ios, bytes := g.pool.SettleIO(now)
+	s.res.Offered += ios
+	s.res.Admitted += ios
+	s.res.Completed += ios
+	s.res.BytesCompleted += bytes
+	s.res.MesoGroupBuckets = g.pool.Buckets()
+}

@@ -64,27 +64,49 @@ func scriptedFaults(sp *Spec) map[string][]fault.Window {
 func materializeDevice(sp *Spec, eng *sim.Engine, rng, frng *sim.RNG,
 	scripted map[string][]fault.Window, profile string, gi int) (device.Device, string, bool, error) {
 	name := InstanceName(profile, gi)
-	var d device.Device
+	d, err := baseDevice(sp, eng, rng, profile, name)
+	if err != nil {
+		return nil, "", false, err
+	}
+	ds := frng.Stream(name)
+	wins, faulted := drawFault(sp, ds, scripted, name)
+	if !faulted {
+		return d, name, false, nil
+	}
+	fd, err := fault.New(d, eng, ds.Stream("inject"), fault.Profile{Windows: wins})
+	if err != nil {
+		return nil, "", false, fmt.Errorf("fault windows for %s: %w", name, err)
+	}
+	return fd, name, true, nil
+}
+
+// baseDevice builds the unwrapped device model of one fleet instance:
+// a fitted surrogate when the spec maps the profile, else the catalog
+// simulator on its own derived stream.
+func baseDevice(sp *Spec, eng *sim.Engine, rng *sim.RNG, profile, name string) (device.Device, error) {
 	if m := sp.Fitted[profile]; m != nil {
 		fd, err := calib.NewDevice(eng, m, name)
 		if err != nil {
-			return nil, "", false, fmt.Errorf("fitted model for %s: %w", name, err)
+			return nil, fmt.Errorf("fitted model for %s: %w", name, err)
 		}
-		d = fd
-	} else {
-		md, ok := catalog.NewNamed(profile, name, eng, rng.Stream(name))
-		if !ok {
-			return nil, "", false, fmt.Errorf("unknown profile %q", profile)
-		}
-		d = md
+		return fd, nil
 	}
-	ds := frng.Stream(name)
+	d, ok := catalog.NewNamed(profile, name, eng, rng.Stream(name))
+	if !ok {
+		return nil, fmt.Errorf("unknown profile %q", profile)
+	}
+	return d, nil
+}
+
+// drawFault resolves one instance's fault outcome from its dedicated
+// stream ds: the scripted windows when the spec names the instance,
+// else the FaultFrac probabilistic draw. Group mode runs this pass for
+// every member — virtual ones included — before deciding which to
+// materialize, consuming exactly the draws the instance owns; whether
+// the member then becomes a device never perturbs another's faults.
+func drawFault(sp *Spec, ds *sim.RNG, scripted map[string][]fault.Window, name string) ([]fault.Window, bool) {
 	if wins := scripted[name]; len(wins) > 0 {
-		fd, err := fault.New(d, eng, ds.Stream("inject"), fault.Profile{Windows: wins})
-		if err != nil {
-			return nil, "", false, fmt.Errorf("fault script for %s: %w", name, err)
-		}
-		return fd, name, true, nil
+		return wins, true
 	}
 	if sp.FaultFrac > 0 && ds.Float64() < sp.FaultFrac {
 		kind := fault.Dropout
@@ -93,13 +115,7 @@ func materializeDevice(sp *Spec, eng *sim.Engine, rng, frng *sim.RNG,
 		}
 		start := time.Duration(float64(sp.Horizon) * (0.2 + 0.4*ds.Float64()))
 		dur := time.Duration(float64(sp.Horizon) * (0.1 + 0.15*ds.Float64()))
-		fd, err := fault.New(d, eng, ds.Stream("inject"), fault.Profile{
-			Windows: []fault.Window{{Kind: kind, Start: start, Dur: dur}},
-		})
-		if err != nil {
-			return nil, "", false, err
-		}
-		return fd, name, true, nil
+		return []fault.Window{{Kind: kind, Start: start, Dur: dur}}, true
 	}
-	return d, name, false, nil
+	return nil, false
 }

@@ -196,6 +196,11 @@ func (m *mesoState) tick() {
 	now := s.eng.Now()
 	m.ticks++
 	atEnd := now >= s.spec.Horizon
+	if s.grp != nil {
+		// Virtual cohort members are served analytically this period —
+		// one O(1) read, however many lanes the buckets represent.
+		s.res.MesoParkedPeriods += s.grp.pool.Members()
+	}
 	for i := range m.lanes {
 		ml := &m.lanes[i]
 		if ml.phase == mesoParked {
@@ -303,6 +308,10 @@ func (m *mesoState) park(i int, ml *mesoLane, now time.Duration, idleW float64) 
 	}, now)
 	ml.phase = mesoParked
 	s.res.MesoDehydrations++
+	if s.grp != nil {
+		// A parking probe's measured draw calibrates its cohort bucket.
+		s.grp.probeParked(i, ml.steadyW, now, &m.drift)
+	}
 }
 
 // unpark settles a parked lane's closed-form span into the shard's
@@ -421,6 +430,9 @@ func (m *mesoState) settle() {
 		if m.lanes[i].phase == mesoParked {
 			m.unpark(i, now, false)
 		}
+	}
+	if s.grp != nil {
+		s.grp.settle(now)
 	}
 	m.done = true
 	s.res.MesoWorstDriftFrac = m.drift.WorstFrac()

@@ -130,6 +130,22 @@ type Spec struct {
 	MesoDwellPeriods int
 	MesoDriftTolFrac float64
 
+	// MesoGroupMin enables group-level parking (requires Meso): a shard
+	// cohort — the interchangeable, same-profile replica groups of its
+	// slice — with at least MesoGroupMin members keeps only MesoProbes
+	// resident probe lanes (plus any fault-injected members) in
+	// mechanistic simulation. Every other member is virtual: never
+	// materialized, represented by a per-(cohort, power-state) bucket
+	// holding a member count and one calibrated operating point donated
+	// by the probes when they park. Budget steps re-plan over bucket
+	// counts in O(#buckets), so control-period work is sublinear in
+	// fleet size. 0 (the default) disables group parking entirely.
+	// MesoProbes defaults to 2; raising it toward the profile's
+	// power-state count speeds calibration coverage when a budget splits
+	// a cohort across several states.
+	MesoGroupMin int
+	MesoProbes   int
+
 	// Fitted substitutes learned device models (internal/calib) for the
 	// mechanistic simulators of the named profiles: every fleet instance
 	// of a mapped profile materializes as a calib.FittedDevice driven by
@@ -271,6 +287,21 @@ func (s Spec) normalized() (Spec, error) {
 	if s.MesoDriftTolFrac < 0 {
 		return s, fmt.Errorf("serve: meso drift tolerance %v must be non-negative", s.MesoDriftTolFrac)
 	}
+	if s.MesoGroupMin < 0 {
+		return s, fmt.Errorf("serve: meso group minimum %d must be non-negative", s.MesoGroupMin)
+	}
+	if s.MesoGroupMin > 0 && !s.Meso {
+		return s, fmt.Errorf("serve: meso group parking requires the meso tier")
+	}
+	if s.MesoProbes < 0 {
+		return s, fmt.Errorf("serve: meso probe count %d must be non-negative", s.MesoProbes)
+	}
+	if s.MesoProbes > 0 && s.MesoGroupMin == 0 {
+		return s, fmt.Errorf("serve: meso probes set without group parking (set MesoGroupMin)")
+	}
+	if s.MesoGroupMin > 0 && s.MesoProbes == 0 {
+		s.MesoProbes = 2
+	}
 	if len(s.Budget) == 0 {
 		var maxW float64
 		for gi := 0; gi < groups; gi++ {
@@ -292,19 +323,17 @@ func (s Spec) normalized() (Spec, error) {
 			return s, fmt.Errorf("serve: budget step %d at %v is past the horizon %v", i, st.At, s.Horizon)
 		}
 	}
-	if len(s.Faults) > 0 {
-		valid := make(map[string]bool, s.Size)
-		for i := 0; i < s.Size; i++ {
-			valid[InstanceName(s.profileOf(i), i)] = true
+	// Fault targets are checked structurally (parse, bounds, profile
+	// round-trip) rather than against an enumerated name set: validation
+	// stays O(#fault-stanzas) no matter the fleet size.
+	for _, df := range s.Faults {
+		profile, i, err := ParseInstanceName(df.Device)
+		if err != nil || i >= s.Size || s.profileOf(i) != profile {
+			return s, fmt.Errorf("serve: fault script targets unknown instance %q (names are %q)",
+				df.Device, InstanceName(s.profileOf(0), 0))
 		}
-		for _, df := range s.Faults {
-			if !valid[df.Device] {
-				return s, fmt.Errorf("serve: fault script targets unknown instance %q (names are %q)",
-					df.Device, InstanceName(s.profileOf(0), 0))
-			}
-			if len(df.Windows) == 0 {
-				return s, fmt.Errorf("serve: fault script for %q has no windows", df.Device)
-			}
+		if len(df.Windows) == 0 {
+			return s, fmt.Errorf("serve: fault script for %q has no windows", df.Device)
 		}
 	}
 	return s, nil
@@ -474,6 +503,18 @@ type Report struct {
 	MesoAggJ                           float64
 	MesoWorstDriftFrac                 float64
 	MesoDriftOK                        bool
+
+	// Group-parking accounting (zero unless Spec.MesoGroupMin is set).
+	// MesoGroupLanes is how many lanes ran as virtual cohort members
+	// (never materialized); MesoGroupBuckets how many (cohort,
+	// power-state) aggregate buckets ever existed; MesoGroupScans the
+	// total bucket slots touched across every group re-plan — the
+	// control-period cost that replaces the O(#lanes) scan; MesoGroupJ
+	// the energy attributed to virtual members from probe-calibrated
+	// operating points. Virtual members also count into
+	// MesoParkedPeriods each control period.
+	MesoGroupLanes, MesoGroupBuckets, MesoGroupScans int
+	MesoGroupJ                                       float64
 }
 
 // Run executes the serving engine and returns the merged report.
@@ -559,6 +600,10 @@ func merge(sp *Spec, results []*shardResult) *Report {
 		r.MesoRehydrations += s.MesoRehydrations
 		r.MesoParkedPeriods += s.MesoParkedPeriods
 		r.MesoAggJ += s.MesoAggJ
+		r.MesoGroupLanes += s.MesoGroupLanes
+		r.MesoGroupBuckets += s.MesoGroupBuckets
+		r.MesoGroupScans += s.MesoGroupScans
+		r.MesoGroupJ += s.MesoGroupJ
 		if s.MesoWorstDriftFrac > r.MesoWorstDriftFrac {
 			r.MesoWorstDriftFrac = s.MesoWorstDriftFrac
 		}

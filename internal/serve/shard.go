@@ -45,6 +45,9 @@ type shardResult struct {
 	MesoWorstDriftFrac                 float64
 	MesoDriftOK                        bool
 
+	MesoGroupLanes, MesoGroupBuckets, MesoGroupScans int
+	MesoGroupJ                                       float64
+
 	GovSteps, GovRetries, GovFailures  int
 	Replans, Compensations, Infeasible int
 	Failovers, WakesOnDemand           int
@@ -77,11 +80,21 @@ type shard struct {
 	arrs        []*workload.Arrivals
 	astreams    []*sim.RNG
 	laneFaulted []bool
+	laneGroup   []int // global replica-group number behind each lane
 	meso        *mesoState
+	grp         *groupState
+
+	// devTotal is the shard's full device count including virtual group
+	// members; budget slices and cap bounds scale by it, not by the
+	// materialized len(devs). Equal to len(devs) outside group mode.
+	devTotal int
 
 	inflight int
 	stopped  bool
 	prevE    float64
+	// ivCarry holds group-tier backfill energy owed to the in-progress
+	// control interval; intervalTick folds and clears it.
+	ivCarry float64
 
 	// Interval energy accounting rides on one rescheduled timer instead
 	// of a build-time event per interval.
@@ -104,6 +117,9 @@ func (s *shard) EnergyJ() float64 {
 	}
 	if s.meso != nil {
 		sum += s.meso.pool.DynEnergyJ(s.eng.Now())
+	}
+	if s.grp != nil {
+		sum += s.grp.pool.EnergyJ(s.eng.Now())
 	}
 	return sum
 }
@@ -256,7 +272,7 @@ func (l *lane) nextOffset() int64 {
 // planned draw so the feedback loop enforces the new plan between
 // steps.
 func (s *shard) applyBudget(fleetW float64) {
-	slice := fleetW * float64(len(s.devs)) / float64(s.spec.Size)
+	slice := fleetW * float64(s.devTotal) / float64(s.spec.Size)
 	a, err := s.bc.Apply(slice)
 	if err != nil {
 		// Infeasible slice (or every pass stuck): keep the previous
@@ -275,6 +291,9 @@ func (s *shard) applyBudget(fleetW float64) {
 
 // planBudget is device i's governor budget under the current plan.
 func (s *shard) planBudget(i int) float64 {
+	if s.grp != nil {
+		return s.grp.planW[i] * govGuard
+	}
 	if sample, ok := s.plan.Configs[s.names[i]]; ok && sample.PowerW > 0 {
 		return sample.PowerW * govGuard
 	}
@@ -293,7 +312,8 @@ func (s *shard) intervalBoundary(k int) time.Duration {
 
 func (s *shard) intervalTick() {
 	e := s.EnergyJ()
-	s.res.IntervalEnergyJ[s.ivIdx] = e - s.prevE
+	s.res.IntervalEnergyJ[s.ivIdx] = e - s.prevE + s.ivCarry
+	s.ivCarry = 0
 	s.prevE = e
 	s.ivIdx++
 	// The mesoscale tier rides the same boundary walk: steadiness
@@ -317,17 +337,39 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	s := &shard{spec: sp, eng: eng}
 	s.res.CapOK = true
 	s.res.MesoDriftOK = true
+	s.devTotal = (rg.g1 - rg.g0) * sp.Replicas
 
-	// Build devices, planning models, replica groups, and lanes.
+	// Build devices, planning models, replica groups, and lanes. In
+	// group mode (MesoGroupMin > 0) only resident groups materialize —
+	// planGroups decides residency and pre-draws every member's fault
+	// outcome first, so virtual members cost no device state at all.
 	scripted := scriptedFaults(sp)
+	var buildGroups []int
+	if sp.MesoGroupMin > 0 {
+		s.grp = planGroups(s, rng, frng, rg, scripted)
+		buildGroups = s.grp.buildGroups
+	} else {
+		buildGroups = make([]int, 0, rg.g1-rg.g0)
+		for g := rg.g0; g < rg.g1; g++ {
+			buildGroups = append(buildGroups, g)
+		}
+	}
 	var models []*core.Model
-	for g := rg.g0; g < rg.g1; g++ {
+	for _, g := range buildGroups {
 		profile := sp.Profiles[g%len(sp.Profiles)]
 		groupDevs := make([]device.Device, 0, sp.Replicas)
 		groupFaulted := false
 		for rep := 0; rep < sp.Replicas; rep++ {
 			gi := g*sp.Replicas + rep
-			d, name, faulted, err := materializeDevice(sp, eng, rng, frng, scripted, profile, gi)
+			var d device.Device
+			var name string
+			var faulted bool
+			var err error
+			if s.grp != nil {
+				d, name, faulted, err = s.grp.materialize(profile, gi)
+			} else {
+				d, name, faulted, err = materializeDevice(sp, eng, rng, frng, scripted, profile, gi)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -335,11 +377,15 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 				s.res.Faulted++
 				groupFaulted = true
 			}
-			m, err := planningModel(profile, name)
-			if err != nil {
-				return nil, err
+			if s.grp == nil {
+				// Per-device planning models feed the BudgetController;
+				// group mode plans over shared per-profile hulls instead.
+				m, err := planningModel(profile, name)
+				if err != nil {
+					return nil, err
+				}
+				models = append(models, m)
 			}
-			models = append(models, m)
 			s.devs = append(s.devs, d)
 			s.names = append(s.names, name)
 			s.maxW = append(s.maxW, profileMaxW(profile))
@@ -365,19 +411,23 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 			span: span,
 		})
 		s.laneFaulted = append(s.laneFaulted, groupFaulted)
-	}
-
-	fleet, err := core.NewFleet(models...)
-	if err != nil {
-		return nil, err
-	}
-	if s.bc, err = adaptive.NewBudgetController(fleet, s.devs); err != nil {
-		return nil, err
+		s.laneGroup = append(s.laneGroup, g)
 	}
 
 	// Initial plan, then one governor per device with selectable power
 	// states, targeted at its planned draw.
-	s.applyBudget(sp.Budget[0].FleetW)
+	if s.grp != nil {
+		s.grp.finishBuild()
+	} else {
+		fleet, err := core.NewFleet(models...)
+		if err != nil {
+			return nil, err
+		}
+		if s.bc, err = adaptive.NewBudgetController(fleet, s.devs); err != nil {
+			return nil, err
+		}
+		s.applyBudget(sp.Budget[0].FleetW)
+	}
 	for i, d := range s.devs {
 		if len(d.PowerStates()) < 2 {
 			s.govs = append(s.govs, nil)
@@ -401,7 +451,11 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 			if s.meso != nil {
 				s.meso.rehydrateAll()
 			}
-			s.applyBudget(st.FleetW)
+			if s.grp != nil {
+				s.grp.apply(st.FleetW)
+			} else {
+				s.applyBudget(st.FleetW)
+			}
 		})
 	}
 
@@ -420,7 +474,7 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	if sp.CheckInvariants {
 		var maxSlice float64
 		for _, st := range sp.Budget {
-			if slice := st.FleetW * float64(len(s.devs)) / float64(sp.Size); slice > maxSlice {
+			if slice := st.FleetW * float64(s.devTotal) / float64(sp.Size); slice > maxSlice {
 				maxSlice = slice
 			}
 		}
@@ -431,7 +485,7 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	// Open-loop arrival stream per lane.
 	for i, l := range s.lanes {
 		l := l
-		st := rng.Stream(fmt.Sprintf("arrivals%05d", rg.g0+i))
+		st := rng.Stream(fmt.Sprintf("arrivals%05d", s.laneGroup[i]))
 		a, err := workload.StartArrivals(eng,
 			st, sp.Arrival, sp.RateIOPS*float64(sp.Active), sp.Horizon, l.arrive, nil)
 		if err != nil {
@@ -489,7 +543,9 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 		s.res.GovRetries += gv.Retries
 		s.res.GovFailures += gv.Failures
 	}
-	s.res.Compensations = s.bc.Compensations
+	if s.bc != nil {
+		s.res.Compensations = s.bc.Compensations
+	}
 	for _, rd := range s.redirs {
 		s.res.Failovers += rd.Failovers
 		s.res.WakesOnDemand += rd.WakesOnDemand

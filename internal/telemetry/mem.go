@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// MemWatch samples the Go runtime heap on a fixed cadence and keeps the
+// high-water marks: peak HeapAlloc (live bytes) and peak HeapObjects
+// (live object count). It exists for the scale work — a million-device
+// hybrid run is judged in bytes per device — and its readings are
+// host- and GC-schedule-dependent by nature, so they must never feed a
+// golden output; callers print them to the terminal or to benchmark
+// metrics only.
+type MemWatch struct {
+	stop chan struct{}
+	done chan struct{}
+
+	peakAlloc   uint64
+	peakObjects uint64
+}
+
+// WatchMem starts sampling every interval (≤0 takes 50 ms) until Stop.
+// Each sample is one runtime.ReadMemStats, which briefly stops the
+// world, so the cadence trades precision against overhead.
+func WatchMem(interval time.Duration) *MemWatch {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	w := &MemWatch{stop: make(chan struct{}), done: make(chan struct{})}
+	w.sample()
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				w.sample()
+			}
+		}
+	}()
+	return w
+}
+
+// sample folds one heap reading into the peaks. Only the watcher
+// goroutine and the pre-start/post-stop calls touch the fields, so no
+// synchronization is needed beyond the done channel.
+func (w *MemWatch) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > w.peakAlloc {
+		w.peakAlloc = ms.HeapAlloc
+	}
+	if ms.HeapObjects > w.peakObjects {
+		w.peakObjects = ms.HeapObjects
+	}
+}
+
+// Stop ends sampling, takes one final reading, and returns the peak
+// live-heap bytes and live-object count seen over the watch.
+func (w *MemWatch) Stop() (peakAlloc, peakObjects uint64) {
+	close(w.stop)
+	<-w.done
+	w.sample()
+	return w.peakAlloc, w.peakObjects
+}

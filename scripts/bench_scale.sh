@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Run the million-device scale benchmark and emit its series as JSON.
+#
+#   scripts/bench_scale.sh [out.json]
+#
+# Runs BenchmarkScaleServe — the group-parked hybrid tier at 10^4,
+# 10^5, and 10^6 devices — and converts the per-size metric sets into
+# BENCH_scale.json (or the given path). The raw benchmark log is kept
+# next to it for debugging.
+#
+# Gates (all on deterministic or size-normalized quantities):
+#   - peak live heap at the 10^6 point must stay under 10 KiB/device
+#     (the million-device fleet fits in single-digit GB);
+#   - allocations per device at the 10^6 point must stay under 1
+#     (materialization cost is per cohort/probe, not per member);
+#   - plan slots scanned must not grow with fleet size (the control
+#     scan is O(#buckets), not O(#lanes)).
+set -eu
+
+out=${1:-BENCH_scale.json}
+log=${out%.json}.log
+
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench '^BenchmarkScaleServe$' -benchtime 1x -count 1 -timeout 30m . | tee "$log"
+
+awk -v out="$out" '
+/^BenchmarkScaleServe\// {
+    split($1, parts, "=")
+    n = parts[2]
+    sub(/-[0-9]+$/, "", n) # strip the GOMAXPROCS suffix
+    if (points++) printf ",\n" > out
+    else printf "{\n  \"benchmark\": \"BenchmarkScaleServe\",\n  \"points\": [\n" > out
+    printf "    {\"devices\": %s", n > out
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        sub(/^scale_/, "", unit)
+        if (unit == "ns_per_op") continue
+        printf ", \"%s\": %s", unit, $i > out
+        if (unit == "bytes_per_device") bpd[n] = $i
+        if (unit == "allocs_per_device") apd[n] = $i
+        if (unit == "plan_slots") slots[n] = $i
+    }
+    printf "}" > out
+}
+END {
+    if (!points) {
+        print "bench_scale.sh: no BenchmarkScaleServe results in output" > "/dev/stderr"
+        exit 1
+    }
+    printf "\n  ]\n}\n" > out
+    if (!(1000000 in bpd)) {
+        print "bench_scale.sh: missing the 10^6-device point" > "/dev/stderr"
+        exit 1
+    }
+    if (bpd[1000000] + 0 >= 10240) {
+        printf "bench_scale.sh: %.0f bytes/device at 10^6 devices over the 10 KiB gate\n", bpd[1000000] > "/dev/stderr"
+        exit 1
+    }
+    if (apd[1000000] + 0 >= 1) {
+        printf "bench_scale.sh: %.3f allocs/device at 10^6 devices over the regression gate of 1\n", apd[1000000] > "/dev/stderr"
+        exit 1
+    }
+    if ((10000 in slots) && slots[1000000] + 0 > 2 * slots[10000]) {
+        printf "bench_scale.sh: plan slots grew with fleet size (%d at 10^4 vs %d at 10^6) — scan is not bucket-shaped\n", slots[10000], slots[1000000] > "/dev/stderr"
+        exit 1
+    }
+}
+' "$log"
+
+echo "wrote $out:"
+cat "$out"
