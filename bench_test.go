@@ -699,3 +699,76 @@ func BenchmarkScaleServe(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkChurnServe runs the lane-lifecycle tier at fleet scale: a
+// group-parked 10⁵-device fleet under a diurnal rate schedule scales
+// out ~10% of its groups for the peak (with a real warm-up cost) and
+// drains them back after it. Each point reports wall-clock seconds,
+// peak live heap and allocations per device, and the recovery
+// latencies — the evidence that membership churn rides the bucket
+// accounting instead of re-materializing the fleet.
+// scripts/bench_churn.sh turns the series into BENCH_churn.json and
+// gates wall and allocation cost at the 10⁵ point. -short keeps only
+// the 10⁴ point, sized for CI smoke runs.
+func BenchmarkChurnServe(b *testing.B) {
+	for _, size := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			if testing.Short() && size > 10_000 {
+				b.Skip("large churn points skipped in -short mode")
+			}
+			sp := scenario.BuiltIn("churn")
+			sp.Fleet.Size = size
+			sp.Fleet.Meso.GroupMin = 64
+			sp.Fleet.Meso.Probes = 2
+			sp.Fleet.Arrivals = []scenario.RateStepSpec{
+				{At: 0, RateIOPS: 500},
+				{At: scenario.Duration(1500 * time.Millisecond), RateIOPS: 250},
+				{At: scenario.Duration(3 * time.Second), RateIOPS: 500},
+			}
+			sp.Fleet.Churn = []scenario.ChurnEventSpec{
+				{At: scenario.Duration(time.Second), Profile: "SSD2", Add: size / 10, Warmup: scenario.Duration(200 * time.Millisecond)},
+				{At: scenario.Duration(2500 * time.Millisecond), Profile: "SSD2", Remove: size / 10},
+			}
+			spec, err := sp.ServeSpec(sp.Runtime.D())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep *serve.Report
+			var wallNS float64
+			var peakAlloc, allocs uint64
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				var m0 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				mw := telemetry.WatchMem(20 * time.Millisecond)
+				t0 := time.Now()
+				if rep, err = serve.Run(spec); err != nil {
+					b.Fatal(err)
+				}
+				wallNS = float64(time.Since(t0))
+				peakAlloc, _ = mw.Stop()
+				var m1 runtime.MemStats
+				runtime.ReadMemStats(&m1)
+				allocs = m1.Mallocs - m0.Mallocs
+			}
+			if rep.ChurnAdds != size/10 || rep.ChurnRemoves != size/10 {
+				b.Fatalf("churn counts: adds %d removes %d, want %d each", rep.ChurnAdds, rep.ChurnRemoves, size/10)
+			}
+			if !rep.CapOK || !rep.TrackOK || !rep.MesoDriftOK {
+				b.Fatalf("gates failed at n=%d: cap=%v track=%v drift=%v (worst %.4f)",
+					size, rep.CapOK, rep.TrackOK, rep.MesoDriftOK, rep.MesoWorstDriftFrac)
+			}
+			if rep.DrainMax >= spec.Horizon {
+				b.Fatalf("drain recovery %v never completed inside %v", rep.DrainMax, spec.Horizon)
+			}
+			b.ReportMetric(float64(peakAlloc)/float64(size), "churn_bytes_per_device")
+			b.ReportMetric(float64(allocs)/float64(size), "churn_allocs_per_device")
+			b.ReportMetric(wallNS/1e9, "churn_wall_s")
+			b.ReportMetric(float64(rep.ChurnAdds), "churn_adds")
+			b.ReportMetric(float64(rep.ChurnRemoves), "churn_removes")
+			b.ReportMetric(float64(rep.WarmupP50)/1e6, "churn_warmup_p50_ms")
+			b.ReportMetric(float64(rep.DrainMax)/1e6, "churn_drain_max_ms")
+			b.ReportMetric(float64(rep.MesoGroupLanes), "churn_virtual_lanes")
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package adaptive
+
+import (
+	"strings"
+
+	"wattio/internal/core"
+	"wattio/internal/device"
+)
+
+// FleetCache memoizes core.Fleet construction by member composition.
+// A fleet's Pareto frontier is expensive to build and cached inside the
+// Fleet itself, so a membership epoch that returns the live set to a
+// composition seen before (scale-out followed by drain-to-previous-
+// size, a failover drained back) reuses the previous Fleet — and with
+// it the frontier — instead of re-merging from scratch.
+//
+// Keys are derived from the sorted-by-construction member name list;
+// the cache is per-shard and single-threaded like everything else in
+// the serving engine.
+type FleetCache struct {
+	fleets map[string]*core.Fleet
+	// Hits and Misses count Fleet lookups, for reporting how often a
+	// churn schedule revisits a composition.
+	Hits, Misses int
+}
+
+// NewFleetCache returns an empty cache.
+func NewFleetCache() *FleetCache {
+	return &FleetCache{fleets: map[string]*core.Fleet{}}
+}
+
+// CompositionKey canonicalizes a member name list into a cache key. The
+// caller passes names in its own deterministic order; two sets with the
+// same members produce the same key regardless of join order.
+func CompositionKey(names []string) string {
+	sorted := append([]string(nil), names...)
+	// Insertion sort: epoch member lists are near-sorted (build order
+	// plus a few churned tails) and small relative to the fleet.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return strings.Join(sorted, "\x00")
+}
+
+// Fleet returns the cached Fleet for the composition key, building and
+// memoizing it on first sight.
+func (c *FleetCache) Fleet(key string, build func() (*core.Fleet, error)) (*core.Fleet, error) {
+	if f, ok := c.fleets[key]; ok {
+		c.Hits++
+		return f, nil
+	}
+	f, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.Misses++
+	c.fleets[key] = f
+	return f, nil
+}
+
+// Controller builds a BudgetController over the cached fleet for the
+// given live devices: the Fleet (and its frontier) comes from the
+// cache, the device binding is rebuilt — devices are live objects that
+// may have changed state since the composition was last seen.
+func (c *FleetCache) Controller(key string, devs []device.Device, build func() (*core.Fleet, error)) (*BudgetController, error) {
+	f, err := c.Fleet(key, build)
+	if err != nil {
+		return nil, err
+	}
+	return NewBudgetController(f, devs)
+}

@@ -13,7 +13,7 @@ import (
 var testScale = Scale{Runtime: 3 * time.Second, TotalBytes: 1 << 30, Seed: 42}
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"calib", "chaos", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fleet", "headline", "meso", "prop", "report", "standby", "table1"}
+	want := []string{"calib", "chaos", "churn", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fleet", "headline", "meso", "prop", "report", "standby", "table1"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

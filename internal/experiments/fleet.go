@@ -113,6 +113,12 @@ func runFleet(s Scale, w io.Writer) error {
 		fmt.Fprintf(w, "meso group: %d virtual lanes in %d buckets, %d plan slots scanned, %.1f J aggregate\n",
 			rep.MesoGroupLanes, rep.MesoGroupBuckets, rep.MesoGroupScans, rep.MesoGroupJ)
 	}
+	if len(spec.Churn) > 0 {
+		fmt.Fprintf(w, "churn: %d groups admitted / %d retired, warm-up p50 %v max %v, drain p50 %v max %v\n",
+			rep.ChurnAdds, rep.ChurnRemoves,
+			rep.WarmupP50.Round(time.Millisecond), rep.WarmupMax.Round(time.Millisecond),
+			rep.DrainP50.Round(time.Millisecond), rep.DrainMax.Round(time.Millisecond))
+	}
 	fmt.Fprintf(w, "invariants: power-cap probe %s (worst window %.1f W)\n", okStr(rep.CapOK), rep.CapWorstW)
 
 	if !rep.CapOK {

@@ -62,6 +62,11 @@ type groupBucket struct {
 	// when calibrated, pending when not.
 	since time.Duration
 	pend  []pendSpan
+	// idle buckets hold members that draw power but serve no IO —
+	// warming lanes spun up by a churn event. Their operating point is
+	// imposed by the caller (SetIdleCount), never probe-calibrated, and
+	// they are excluded from cohort IO accrual and recalibration.
+	idle bool
 }
 
 // cohortIO integrates a cohort's virtual IO: rate is the same at every
@@ -157,6 +162,62 @@ func (p *GroupPool) SetCount(key GroupKey, n int, now time.Duration) {
 	c.count += n - b.count
 	p.members += n - b.count
 	b.count = n
+}
+
+// SetIdleCount sets the member count of an idle bucket — virtual lanes
+// that draw opW watts apiece (power-on warm-up, typically) but serve no
+// IO. The bucket is created calibrated at the imposed draw, so its
+// energy accrues live with no pending spans, and the cohort's IO
+// integration never sees these members. Changing opW flushes the span
+// accrued under the previous value first, keeping the ledger exact.
+func (p *GroupPool) SetIdleCount(key GroupKey, n int, opW float64, now time.Duration) {
+	if n < 0 {
+		panic(fmt.Sprintf("meso: idle bucket %v count %d negative", key, n))
+	}
+	if opW < 0 {
+		panic(fmt.Sprintf("meso: idle bucket %v draw %v negative", key, opW))
+	}
+	b := p.bucket(key)
+	if b.count == n && (b.op == opW || b.count == 0) {
+		b.idle, b.calibrated, b.op = true, true, opW
+		return
+	}
+	b.flush(p, now)
+	b.idle, b.calibrated = true, true
+	b.op = opW
+	p.members += n - b.count
+	b.count = n
+}
+
+// SetRate changes the pool-wide per-lane offered rate at virtual time
+// now: every cohort's IO integration is settled at the old rate first,
+// so the credited counts stay exactly rate × member-seconds across the
+// boundary. Callers should follow with Recalibrate — operating points
+// measured at the old rate no longer describe the new load.
+func (p *GroupPool) SetRate(rateIOPS float64, now time.Duration) {
+	if rateIOPS <= 0 {
+		panic(fmt.Sprintf("meso: pool rate %v must be positive", rateIOPS))
+	}
+	for _, c := range p.cohorts {
+		c.accrue(p.rateIOPS, now)
+	}
+	p.rateIOPS = rateIOPS
+}
+
+// Recalibrate invalidates every serving bucket's measured operating
+// point at virtual time now: the span accrued under the old point is
+// settled, and accrual from now on is pending until a probe donates a
+// fresh measurement (or settle-time fallback covers it). Idle buckets
+// keep their imposed draw — it is load-independent.
+func (p *GroupPool) Recalibrate(now time.Duration) {
+	for _, b := range p.order {
+		if b.idle || !b.calibrated {
+			continue
+		}
+		b.flush(p, now)
+		b.calibrated = false
+		b.calN = 0
+	}
 }
 
 // Count returns the bucket's current member count (0 if absent).

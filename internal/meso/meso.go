@@ -99,6 +99,15 @@ func NewPool(n int) *Pool {
 	return &Pool{aggs: make([]agg, n)}
 }
 
+// Grow extends the pool to cover n lanes (hydrated), so a lane
+// lifecycle that admits lanes mid-run can park them later. Shrinking
+// never happens — retired lanes simply stay hydrated.
+func (p *Pool) Grow(n int) {
+	for len(p.aggs) < n {
+		p.aggs = append(p.aggs, agg{})
+	}
+}
+
 // Park dehydrates lane i at virtual time now onto the given operating
 // point. The lane must not already be parked.
 func (p *Pool) Park(i int, op OperatingPoint, now time.Duration) {

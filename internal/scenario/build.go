@@ -69,6 +69,18 @@ func (s *Spec) ServeSpec(horizon time.Duration) (serve.Spec, error) {
 		FaultFrac:       f.FaultFrac,
 		CheckInvariants: !f.SkipInvariants,
 	}
+	for _, rs := range f.Arrivals {
+		sp.Rates = append(sp.Rates, workload.RateStep{At: rs.At.D(), IOPS: rs.RateIOPS})
+	}
+	for _, ev := range f.Churn {
+		sp.Churn = append(sp.Churn, serve.ChurnEvent{
+			At:      ev.At.D(),
+			Profile: ev.Profile,
+			Add:     ev.Add,
+			Remove:  ev.Remove,
+			Warmup:  ev.Warmup.D(),
+		})
+	}
 	if m := f.Meso; m != nil && m.Enable {
 		sp.Meso = true
 		sp.MesoDwellPeriods = m.DwellPeriods

@@ -183,6 +183,37 @@ var builtins = map[string]func() *Spec{
 			},
 		}
 	},
+	// churn drives the lane-lifecycle experiment: a group-parked fleet
+	// under a diurnal rate schedule scales out mid-run (with a real
+	// warm-up cost), sheds the extra groups after the peak, and must
+	// keep every ledger and invariant probe green through both
+	// membership epochs.
+	"churn": func() *Spec {
+		return &Spec{
+			Version:    Version,
+			Name:       "churn",
+			Notes:      "Lane lifecycle under diurnal load: a group-parked fleet scales out 16 replica groups for the peak (200ms warm-up), drains them back after it, and every energy/IO ledger and invariant probe must stay green. Equivalent to `powerbench -exp churn`.",
+			Experiment: "churn",
+			Scale:      "quick",
+			Runtime:    Duration(4 * time.Second),
+			Seed:       42,
+			FaultSeed:  1,
+			Fleet: &FleetSpec{
+				Size:   64,
+				Budget: "max",
+				Meso:   &MesoSpec{Enable: true, GroupMin: 4},
+				Arrivals: []RateStepSpec{
+					{At: 0, RateIOPS: 3000},
+					{At: Duration(1500 * time.Millisecond), RateIOPS: 1200},
+					{At: Duration(3 * time.Second), RateIOPS: 3000},
+				},
+				Churn: []ChurnEventSpec{
+					{At: Duration(1 * time.Second), Profile: "SSD2", Add: 16, Warmup: Duration(200 * time.Millisecond)},
+					{At: Duration(2500 * time.Millisecond), Profile: "SSD2", Remove: 16},
+				},
+			},
+		}
+	},
 	// calib drives the learned-device-model experiment: calibrate every
 	// catalog class against its mechanistic simulator, then serve the
 	// same mixed fleet twice — mechanistic and fitted — under a

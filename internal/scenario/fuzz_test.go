@@ -118,6 +118,61 @@ func checkExpansion(t *testing.T, sp *Spec) {
 	}
 }
 
+// FuzzChurnSpecRoundTrip fuzzes the lane-lifecycle stanzas in
+// isolation: arbitrary arrivals and churn values either fail
+// validation with a path-named error, or survive the canonical
+// round trip as a fixed point and build a serving spec.
+func FuzzChurnSpecRoundTrip(f *testing.F) {
+	f.Add(`[{"at":"1s","profile":"SSD2","add":16,"warmup":"200ms"},{"at":"2.5s","profile":"SSD2","remove":16}]`,
+		`[{"at":"0s","rate_iops":3000},{"at":"1.5s","rate_iops":1200}]`, uint64(42))
+	f.Add(`[{"at":"1ms","profile":"HDD","remove":1}]`, `[]`, uint64(7))
+	f.Add(`[{"at":"0s","profile":"SSD2","add":0}]`, `[{"at":"1s","rate_iops":-3}]`, uint64(0))
+	f.Add(`[{"at":"1s","profile":"SSD2","add":1},{"at":"1s","profile":"SSD2","remove":1}]`, `[{"at":"0s","rate_iops":1}]`, uint64(9))
+	f.Fuzz(func(t *testing.T, churnJSON, arrivalsJSON string, seed uint64) {
+		var churn []ChurnEventSpec
+		var arr []RateStepSpec
+		if err := json.Unmarshal([]byte(churnJSON), &churn); err != nil {
+			return
+		}
+		if err := json.Unmarshal([]byte(arrivalsJSON), &arr); err != nil {
+			return
+		}
+		sp := BuiltIn("churn")
+		sp.Seed = seed
+		sp.Fleet.Churn = churn
+		sp.Fleet.Arrivals = arr
+		if err := sp.Validate(); err != nil {
+			if !strings.Contains(err.Error(), "scenario: ") {
+				t.Fatalf("rejection without a path: %v", err)
+			}
+			return
+		}
+		canon, err := sp.Canonical()
+		if err != nil {
+			t.Fatalf("validated churn spec failed to canonicalize: %v", err)
+		}
+		sp2, err := Parse(bytes.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, canon)
+		}
+		canon2, err := sp2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n--- first\n%s\n--- second\n%s", canon, canon2)
+		}
+		svc, err := sp.ServeSpec(sp.Runtime.D())
+		if err != nil {
+			t.Fatalf("validated churn spec failed to build a serving spec: %v", err)
+		}
+		if len(svc.Churn) != len(churn) || len(svc.Rates) != len(arr) {
+			t.Fatalf("stanzas dropped in the build: %d/%d churn, %d/%d rates",
+				len(svc.Churn), len(churn), len(svc.Rates), len(arr))
+		}
+	})
+}
+
 // FuzzGridExpand fuzzes the grid stanza in isolation: arbitrary axis
 // values either fail validation with a path-named error or expand into
 // a family satisfying the full expansion contract.

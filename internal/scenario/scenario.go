@@ -179,6 +179,15 @@ type FleetSpec struct {
 	// the fleet experiment's stepped curtail-and-recover default; "max"
 	// asks for a never-binding budget.
 	Budget string `json:"budget,omitempty"`
+	// Arrivals is an optional piecewise-constant arrival-rate schedule
+	// (a diurnal load curve): from each step's at onward every lane's
+	// per-active-device rate is that step's rate_iops. The first step
+	// must be at 0; a spec sets either rate_iops or arrivals, not both.
+	Arrivals []RateStepSpec `json:"arrivals,omitempty"`
+	// Churn schedules membership changes: scale-out events that admit
+	// new replica groups mid-run (warming for warmup before they serve)
+	// and scale-in events that drain and retire groups.
+	Churn []ChurnEventSpec `json:"churn,omitempty"`
 	// FaultFrac is the fraction of devices given a fault window drawn
 	// from FaultSeed.
 	FaultFrac float64 `json:"fault_frac,omitempty"`
@@ -220,6 +229,26 @@ type MesoSpec struct {
 	// Probes is the number of resident probe lanes per virtualized
 	// cohort; meaningful only with GroupMin > 0. Default 2.
 	Probes int `json:"probes,omitempty"`
+}
+
+// RateStepSpec is one step of a fleet arrival-rate schedule: from At
+// onward, every lane's per-active-device rate is RateIOPS. It maps
+// onto workload.RateStep.
+type RateStepSpec struct {
+	At       Duration `json:"at"`
+	RateIOPS float64  `json:"rate_iops"`
+}
+
+// ChurnEventSpec is one scheduled fleet membership change in spec
+// form; it maps onto serve.ChurnEvent. At At, Add replica groups of
+// Profile join the fleet (warming for Warmup before they serve) and/or
+// Remove groups of Profile drain and retire.
+type ChurnEventSpec struct {
+	At      Duration `json:"at"`
+	Profile string   `json:"profile"`
+	Add     int      `json:"add,omitempty"`
+	Remove  int      `json:"remove,omitempty"`
+	Warmup  Duration `json:"warmup,omitempty"`
 }
 
 // CalibSpec parameterizes the learned-device-model substitution: the
@@ -618,6 +647,61 @@ func (f *FleetSpec) validate(path string) error {
 	if f.RateIOPS < 0 {
 		return pathErr(path+".rate_iops", "negative arrival rate %v", f.RateIOPS)
 	}
+	if len(f.Arrivals) > 0 {
+		if f.RateIOPS != 0 {
+			return pathErr(path+".rate_iops", "rate_iops and arrivals are mutually exclusive (the schedule's first step sets the opening rate)")
+		}
+		if f.Arrivals[0].At != 0 {
+			return pathErr(path+".arrivals[0].at", "rate schedule must start at 0, got %v", f.Arrivals[0].At.D())
+		}
+		for i, rs := range f.Arrivals {
+			if rs.RateIOPS <= 0 {
+				return pathErr(fmt.Sprintf("%s.arrivals[%d].rate_iops", path, i), "rate step needs a positive rate, got %v", rs.RateIOPS)
+			}
+			if i > 0 && rs.At <= f.Arrivals[i-1].At {
+				return pathErr(fmt.Sprintf("%s.arrivals[%d].at", path, i), "rate schedule not strictly increasing at %v", rs.At.D())
+			}
+		}
+	}
+	if len(f.Churn) > 0 {
+		// Track per-profile live group counts through the schedule so
+		// every removal is known to have a target and no cohort ever
+		// empties out — the same walk serve's normalization does, but
+		// failing here names the offending spec path.
+		profiles := f.Profiles
+		if len(profiles) == 0 {
+			profiles = []string{"SSD2"}
+		}
+		live := make(map[string]int, len(profiles))
+		for g := 0; g < size/replicas; g++ {
+			live[profiles[g%len(profiles)]]++
+		}
+		for i, ev := range f.Churn {
+			epath := fmt.Sprintf("%s.churn[%d]", path, i)
+			if ev.At <= 0 {
+				return pathErr(epath+".at", "churn event needs a positive time, got %v", ev.At.D())
+			}
+			if i > 0 && ev.At <= f.Churn[i-1].At {
+				return pathErr(epath+".at", "churn schedule not strictly increasing at %v", ev.At.D())
+			}
+			if _, ok := live[ev.Profile]; !ok {
+				return pathErr(epath+".profile", "churn event addresses unknown cohort %q (profiles are %s)",
+					ev.Profile, strings.Join(profiles, ", "))
+			}
+			if ev.Add < 0 || ev.Remove < 0 || ev.Add+ev.Remove == 0 {
+				return pathErr(epath, "churn event must add or remove at least one group (add %d, remove %d)", ev.Add, ev.Remove)
+			}
+			if ev.Warmup < 0 {
+				return pathErr(epath+".warmup", "negative warm-up %v", ev.Warmup.D())
+			}
+			live[ev.Profile] += ev.Add
+			if ev.Remove >= live[ev.Profile] {
+				return pathErr(epath+".remove", "removes %d of cohort %q's %d live groups (at least one must remain)",
+					ev.Remove, ev.Profile, live[ev.Profile])
+			}
+			live[ev.Profile] -= ev.Remove
+		}
+	}
 	switch f.Arrival {
 	case "", "poisson", "uniform":
 	default:
@@ -649,6 +733,16 @@ func (f *FleetSpec) validate(path string) error {
 		}
 		if m.Probes > 0 && m.GroupMin == 0 {
 			return pathErr(path+".meso.probes", "probe count set without group parking (set group_min)")
+		}
+		if m.GroupMin > 0 {
+			probes := m.Probes
+			if probes == 0 {
+				probes = 2 // serve's default probe count
+			}
+			if probes >= m.GroupMin {
+				return pathErr(path+".meso.probes", "probe count %d must be below group_min %d (a cohort that is all probes has nothing to virtualize)",
+					probes, m.GroupMin)
+			}
 		}
 	}
 	if c := f.Calib; c != nil {

@@ -193,6 +193,45 @@ func TestValidateRejectsWithPath(t *testing.T) {
 		{"negative group min", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, GroupMin: -4} }, "fleet.meso.group_min"},
 		{"negative probes", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, GroupMin: 4, Probes: -1} }, "fleet.meso.probes"},
 		{"probes without group", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, Probes: 2} }, "fleet.meso.probes"},
+		{"probes at group min", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, GroupMin: 4, Probes: 4} }, "fleet.meso.probes"},
+		{"default probes at group min", func(s *Spec) { s.Fleet.Meso = &MesoSpec{Enable: true, GroupMin: 2} }, "fleet.meso.probes"},
+		{"arrivals with rate", func(s *Spec) {
+			s.Fleet.RateIOPS = 500
+			s.Fleet.Arrivals = []RateStepSpec{{At: 0, RateIOPS: 500}}
+		}, "fleet.rate_iops"},
+		{"arrivals late start", func(s *Spec) {
+			s.Fleet.RateIOPS = 0
+			s.Fleet.Arrivals = []RateStepSpec{{At: Duration(time.Second), RateIOPS: 500}}
+		}, "fleet.arrivals[0].at"},
+		{"arrivals zero rate", func(s *Spec) {
+			s.Fleet.RateIOPS = 0
+			s.Fleet.Arrivals = []RateStepSpec{{At: 0, RateIOPS: 0}}
+		}, "fleet.arrivals[0].rate_iops"},
+		{"arrivals non-increasing", func(s *Spec) {
+			s.Fleet.RateIOPS = 0
+			s.Fleet.Arrivals = []RateStepSpec{{At: 0, RateIOPS: 1}, {At: 0, RateIOPS: 2}}
+		}, "fleet.arrivals[1].at"},
+		{"churn unknown cohort", func(s *Spec) {
+			s.Fleet.Churn = []ChurnEventSpec{{At: Duration(time.Second), Profile: "HDD", Add: 1}}
+		}, "fleet.churn[0].profile"},
+		{"churn at zero", func(s *Spec) {
+			s.Fleet.Churn = []ChurnEventSpec{{At: 0, Profile: "SSD2", Add: 1}}
+		}, "fleet.churn[0].at"},
+		{"churn non-increasing", func(s *Spec) {
+			s.Fleet.Churn = []ChurnEventSpec{
+				{At: Duration(time.Second), Profile: "SSD2", Add: 1},
+				{At: Duration(time.Second), Profile: "SSD2", Remove: 1},
+			}
+		}, "fleet.churn[1].at"},
+		{"churn empty event", func(s *Spec) {
+			s.Fleet.Churn = []ChurnEventSpec{{At: Duration(time.Second), Profile: "SSD2"}}
+		}, "fleet.churn[0]"},
+		{"churn negative warmup", func(s *Spec) {
+			s.Fleet.Churn = []ChurnEventSpec{{At: Duration(time.Second), Profile: "SSD2", Add: 1, Warmup: Duration(-time.Millisecond)}}
+		}, "fleet.churn[0].warmup"},
+		{"churn empties cohort", func(s *Spec) {
+			s.Fleet.Churn = []ChurnEventSpec{{At: Duration(time.Second), Profile: "SSD2", Remove: 64}}
+		}, "fleet.churn[0].remove"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

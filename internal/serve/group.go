@@ -36,6 +36,15 @@ type preFault struct {
 	ds   *sim.RNG
 }
 
+// warmBatch is one churn event's warming virtual members of a cohort:
+// admitted at `at`, serving from warmAt, n members still warming.
+// Removals of warming members decrement the newest non-empty batch —
+// scale-in pops the highest group numbers, which the newest batch owns.
+type warmBatch struct {
+	at, warmAt time.Duration
+	n          int
+}
+
 // groupCohort is one profile's member set within a shard.
 type groupCohort struct {
 	pi      int // profile index — the global cohort id
@@ -49,6 +58,13 @@ type groupCohort struct {
 	resOrder []int
 	resLevel []int
 	probes   int
+
+	// warming counts virtual members admitted by churn whose warm-up
+	// has not completed: they sit in the cohort's idle bucket (counted
+	// in `count`, drawing power, serving nothing) and are excluded from
+	// the serving distribution until their batch's warm event fires.
+	warming     int
+	warmBatches []warmBatch
 }
 
 type groupState struct {
@@ -133,22 +149,23 @@ func planGroups(s *shard, rng, frng *sim.RNG, rg shardRange, scripted map[string
 }
 
 // materialize builds one resident member's device, applying its
-// pre-drawn fault windows.
-func (g *groupState) materialize(profile string, gi int) (device.Device, string, bool, error) {
+// pre-drawn fault windows (returned for the caller's barred-until
+// bookkeeping; empty when unfaulted).
+func (g *groupState) materialize(profile string, gi int) (device.Device, string, []fault.Window, error) {
 	name := InstanceName(profile, gi)
 	d, err := baseDevice(g.s.spec, g.s.eng, g.rng, profile, name)
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", nil, err
 	}
 	pf, ok := g.pre[gi]
 	if !ok {
-		return d, name, false, nil
+		return d, name, nil, nil
 	}
 	fd, err := fault.New(d, g.s.eng, pf.ds.Stream("inject"), fault.Profile{Windows: pf.wins})
 	if err != nil {
-		return nil, "", false, fmt.Errorf("fault windows for %s: %w", name, err)
+		return nil, "", nil, fmt.Errorf("fault windows for %s: %w", name, err)
 	}
-	return fd, name, true, nil
+	return fd, name, pf.wins, nil
 }
 
 // finishBuild runs after the resident lanes exist: map lanes to cohort
@@ -185,6 +202,25 @@ func (g *groupState) finishBuild() {
 	g.apply(s.spec.Budget[0].FleetW)
 }
 
+// warmKey is the cohort's idle-bucket key: state -1 is outside every
+// hull level, so the bucket never collides with a serving one.
+func (g *groupState) warmKey(c *groupCohort) meso.GroupKey {
+	return meso.GroupKey{Cohort: c.pi, State: -1}
+}
+
+// warmOpW is the per-lane draw imposed on warming members: the hull's
+// top level times the replica count — devices power on at full draw,
+// exactly as materialized lanes enter the run.
+func (g *groupState) warmOpW(c *groupCohort) float64 {
+	return c.hull[len(c.hull)-1].powerW * float64(g.s.spec.Replicas)
+}
+
+// laneGone reports whether a resident lane has left the serving set
+// (draining or retired) and must be skipped by the plan.
+func (g *groupState) laneGone(li int) bool {
+	return g.s.lc != nil && (g.s.lc[li].removing || g.s.lc[li].dead)
+}
+
 // apply is the group-mode re-plan: bulk-allocate every cohort member to
 // a hull level under the shard's budget slice, retarget resident
 // devices and governors, and move bucket counts — O(#buckets +
@@ -193,12 +229,28 @@ func (g *groupState) apply(fleetW float64) {
 	s := g.s
 	sp := s.spec
 	now := s.eng.Now()
-	slice := fleetW * float64(s.devTotal) / float64(sp.Size)
+	slice := fleetW * float64(s.liveDevs) / float64(s.fleetLive)
+
+	// Warming members hold budget share but cannot be planned — their
+	// imposed power-on draw comes off the top of the slice before the
+	// serving population divides the rest.
+	var warmW float64
+	for pi := range g.cohorts {
+		c := &g.cohorts[pi]
+		if c.warming > 0 {
+			warmW += g.warmOpW(c) * float64(c.warming)
+		}
+	}
+	if warmW > 0 {
+		if slice -= warmW; slice < 0 {
+			slice = 0
+		}
+	}
 
 	demands := make([]cohortDemand, len(g.cohorts))
 	for pi := range g.cohorts {
 		c := &g.cohorts[pi]
-		demands[pi] = cohortDemand{hull: c.hull, count: c.count, laneScale: float64(sp.Replicas)}
+		demands[pi] = cohortDemand{hull: c.hull, count: c.count - c.warming, laneScale: float64(sp.Replicas)}
 	}
 	dist, ok := planShares(demands, slice)
 	if !ok {
@@ -213,12 +265,13 @@ func (g *groupState) apply(fleetW float64) {
 		for pi := range g.cohorts {
 			c := &g.cohorts[pi]
 			dist[pi] = make([]int, len(c.hull))
-			dist[pi][len(c.hull)-1] = c.count
+			dist[pi][len(c.hull)-1] = c.count - c.warming
 		}
 	} else {
 		s.res.Replans++
 	}
 
+	var pos []int
 	for pi := range g.cohorts {
 		c := &g.cohorts[pi]
 		if c.count == 0 {
@@ -231,22 +284,34 @@ func (g *groupState) apply(fleetW float64) {
 		// first a coverage pass placing one probe on each populated
 		// level (so every live bucket has a calibration source), then
 		// the rest onto whichever level has the most members left.
+		// Residents retired by churn hold no level and are skipped.
+		pos = pos[:0]
+		probes := 0
+		for k := range c.resOrder {
+			if g.laneGone(c.resOrder[k]) {
+				continue
+			}
+			if k < c.probes {
+				probes++
+			}
+			pos = append(pos, k)
+		}
 		assigned := 0
-		for j := 0; j < len(rem) && assigned < c.probes; j++ {
+		for j := 0; j < len(rem) && assigned < probes; j++ {
 			if rem[j] > 0 {
-				g.assignResident(c, assigned, j)
+				g.assignResident(c, pos[assigned], j)
 				rem[j]--
 				assigned++
 			}
 		}
-		for ; assigned < len(c.resOrder); assigned++ {
+		for ; assigned < len(pos); assigned++ {
 			best := -1
 			for j := range rem {
 				if rem[j] > 0 && (best < 0 || rem[j] > rem[best]) {
 					best = j
 				}
 			}
-			g.assignResident(c, assigned, best)
+			g.assignResident(c, pos[assigned], best)
 			rem[best]--
 		}
 
@@ -286,6 +351,74 @@ func (g *groupState) assignResident(c *groupCohort, k, j int) {
 		if err := d.SetPowerState(c.hull[j].level); err != nil {
 			s.res.Compensations++
 		}
+	}
+}
+
+// addVirtual admits one churned replica group as a virtual cohort
+// member: no devices, no lane — the member enters the cohort's idle
+// (warm) bucket at the imposed power-on draw and joins the serving
+// distribution when its warm batch completes. The caller re-plans
+// afterward.
+func (g *groupState) addVirtual(ad laneAdd, at, warmAt time.Duration, now time.Duration) {
+	c := &g.cohorts[ad.pi]
+	c.count++
+	c.warming++
+	if n := len(c.warmBatches); n > 0 && c.warmBatches[n-1].warmAt == warmAt && c.warmBatches[n-1].at == at {
+		c.warmBatches[n-1].n++
+	} else {
+		c.warmBatches = append(c.warmBatches, warmBatch{at: at, warmAt: warmAt, n: 1})
+	}
+	g.pool.SetIdleCount(g.warmKey(c), c.warming, g.warmOpW(c), now)
+	g.s.res.MesoGroupLanes++
+}
+
+// removeMember retires one cohort member at a scale-in epoch. A
+// materialized member (probe or faulted resident, or a plain-built
+// group) drains mechanistically; a virtual member leaves its bucket at
+// the caller's re-plan — its analytic queue is empty by construction,
+// so its drain recovery is instantaneous. A member removed while still
+// warming leaves the idle bucket instead and decrements the newest
+// non-empty warm batch (scale-in pops the newest group numbers).
+func (g *groupState) removeMember(rm churnRemove, now time.Duration) {
+	c := &g.cohorts[rm.pi]
+	c.count--
+	if _, resident := g.s.groupLane[rm.g]; resident {
+		g.s.beginRemove(rm.g, now)
+		return
+	}
+	if rm.warming {
+		c.warming--
+		for k := len(c.warmBatches) - 1; k >= 0; k-- {
+			if c.warmBatches[k].n > 0 {
+				c.warmBatches[k].n--
+				break
+			}
+		}
+		g.pool.SetIdleCount(g.warmKey(c), c.warming, g.warmOpW(c), now)
+	}
+	g.s.res.DrainLats = append(g.s.res.DrainLats, 0)
+}
+
+// warmBatchDone completes the warm batch of cohort pi admitted at
+// `at`: its surviving members leave the idle bucket for the serving
+// distribution (the caller re-plans) and each reports its modeled
+// warm-up as the recovery latency.
+func (g *groupState) warmBatchDone(pi int, at, warmAt time.Duration, now time.Duration) {
+	c := &g.cohorts[pi]
+	for k := range c.warmBatches {
+		b := c.warmBatches[k]
+		if b.at != at || b.warmAt != warmAt {
+			continue
+		}
+		c.warmBatches = append(c.warmBatches[:k], c.warmBatches[k+1:]...)
+		if b.n > 0 {
+			c.warming -= b.n
+			g.pool.SetIdleCount(g.warmKey(c), c.warming, g.warmOpW(c), now)
+			for j := 0; j < b.n; j++ {
+				g.s.res.WarmupLats = append(g.s.res.WarmupLats, warmAt-at)
+			}
+		}
+		return
 	}
 }
 

@@ -61,23 +61,26 @@ func scriptedFaults(sp *Spec) map[string][]fault.Window {
 // and a scripted instance skips the probabilistic draw entirely — the
 // draws of every other instance come from their own streams, so adding
 // a script to one device never perturbs another's faults or workload.
+// The returned windows are the fault outcome (empty when unfaulted);
+// the caller uses their span to bound how long the lane stays barred
+// from the analytic tier.
 func materializeDevice(sp *Spec, eng *sim.Engine, rng, frng *sim.RNG,
-	scripted map[string][]fault.Window, profile string, gi int) (device.Device, string, bool, error) {
+	scripted map[string][]fault.Window, profile string, gi int) (device.Device, string, []fault.Window, error) {
 	name := InstanceName(profile, gi)
 	d, err := baseDevice(sp, eng, rng, profile, name)
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", nil, err
 	}
 	ds := frng.Stream(name)
 	wins, faulted := drawFault(sp, ds, scripted, name)
 	if !faulted {
-		return d, name, false, nil
+		return d, name, nil, nil
 	}
 	fd, err := fault.New(d, eng, ds.Stream("inject"), fault.Profile{Windows: wins})
 	if err != nil {
-		return nil, "", false, fmt.Errorf("fault windows for %s: %w", name, err)
+		return nil, "", nil, fmt.Errorf("fault windows for %s: %w", name, err)
 	}
-	return fd, name, true, nil
+	return fd, name, wins, nil
 }
 
 // baseDevice builds the unwrapped device model of one fleet instance:

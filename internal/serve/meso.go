@@ -10,7 +10,6 @@ import (
 	"wattio/internal/device"
 	"wattio/internal/meso"
 	"wattio/internal/telemetry/invariant"
-	"wattio/internal/workload"
 )
 
 // The mesoscale aggregation tier lets a shard stop simulating lanes
@@ -53,11 +52,17 @@ const (
 
 type mesoLane struct {
 	phase mesoPhase
-	// barred lanes never park: fault-injected lanes statically (their
-	// windows make any calibration a lie waiting to happen), and lanes
-	// whose sentinel re-measurement drifted beyond tolerance.
-	barred bool
-	dwell  int
+	// barred lanes never park again: a sentinel re-measurement drifted
+	// beyond tolerance, so the aggregate's model of this lane cannot be
+	// trusted for the rest of the run. barredUntil bars a lane only
+	// until a known transient ends — a fault-injected lane until its
+	// last window closes (calibrating across a dropout would be a lie,
+	// but a drained-back lane is just a lane again), a churned lane
+	// until its warm-up completes. Neither transient bars forever: no
+	// member is a permanently forced resident.
+	barred      bool
+	barredUntil time.Duration
+	dwell       int
 
 	// prevE/prevT are the lane's device energy baseline and the time it
 	// was taken — the last tick, or the rehydration instant for a lane
@@ -105,7 +110,7 @@ func newMeso(s *shard) *mesoState {
 	m := &mesoState{s: s, pool: meso.NewPool(len(s.lanes)), lanes: make([]mesoLane, len(s.lanes))}
 	for i := range m.lanes {
 		ml := &m.lanes[i]
-		ml.barred = s.laneFaulted[i]
+		ml.barredUntil = s.laneFaultEnd[i]
 		ml.states = make([]int, s.spec.Replicas)
 		ml.idleW = make(map[string]float64)
 		ml.pendingPredW = -1
@@ -113,6 +118,49 @@ func newMeso(s *shard) *mesoState {
 		m.snapshot(i, ml)
 	}
 	return m
+}
+
+// addLane extends the tier to cover a lane admitted mid-run by a churn
+// epoch: the pool grows and the lane starts hydrated, barred from
+// parking until its warm-up completes (an idle warming lane looks
+// steady but has no operating point worth calibrating).
+func (m *mesoState) addLane(i int, warmAt time.Duration) {
+	m.pool.Grow(i + 1)
+	m.lanes = append(m.lanes, mesoLane{})
+	ml := &m.lanes[i]
+	ml.barredUntil = warmAt
+	ml.states = make([]int, m.s.spec.Replicas)
+	ml.idleW = make(map[string]float64)
+	ml.pendingPredW = -1
+	ml.prevE = m.laneEnergy(i)
+	ml.prevT = m.s.eng.Now()
+	m.snapshot(i, ml)
+}
+
+// resetBaseline restarts lane i's steadiness tracking from the current
+// instant — called when its traffic regime changes discontinuously (a
+// churned lane's arrivals starting at warm-up), so a dwell accumulated
+// under the old regime never calibrates the new one.
+func (m *mesoState) resetBaseline(i int) {
+	ml := &m.lanes[i]
+	ml.dwell = 0
+	ml.prevE, ml.prevT = m.laneEnergy(i), m.s.eng.Now()
+	m.snapshot(i, ml)
+}
+
+// evict pulls a lane out of the analytic tier for retirement: a parked
+// lane settles its span (without restarting serving), a draining or
+// idling one simply returns to hydrated — its arrivals are already
+// stopped and the retirement path stops its governors.
+func (m *mesoState) evict(i int, now time.Duration) {
+	ml := &m.lanes[i]
+	switch ml.phase {
+	case mesoParked:
+		m.unpark(i, now, false)
+	case mesoDraining, mesoIdling:
+		ml.phase = mesoHydrated
+		ml.dwell = 0
+	}
 }
 
 func (m *mesoState) laneEnergy(i int) float64 {
@@ -203,6 +251,9 @@ func (m *mesoState) tick() {
 	}
 	for i := range m.lanes {
 		ml := &m.lanes[i]
+		if s.lc != nil && (s.lc[i].removing || s.lc[i].dead) {
+			continue
+		}
 		if ml.phase == mesoParked {
 			s.res.MesoParkedPeriods++
 			continue
@@ -226,7 +277,16 @@ func (m *mesoState) tick() {
 			} else {
 				ml.dwell = 0
 			}
-			if !atEnd && !ml.barred && ml.dwell >= s.spec.MesoDwellPeriods {
+			if ml.barredUntil > 0 && now >= ml.barredUntil && s.lanes[i].qlen() == 0 {
+				// The transient is over and the lane has caught up — a
+				// dropout releases its held IOs all at once, and the
+				// backlog drain draws more than the steady regime, so
+				// the bar lifts only at the first clean (empty-queue)
+				// boundary and the dwell restarts from it.
+				ml.barredUntil = 0
+				ml.dwell = 0
+			}
+			if !atEnd && !ml.barred && ml.barredUntil == 0 && ml.dwell >= s.spec.MesoDwellPeriods {
 				m.beginDrain(i, ml, e, now)
 			}
 		case mesoDraining:
@@ -303,7 +363,7 @@ func (m *mesoState) park(i int, ml *mesoLane, now time.Duration, idleW float64) 
 	m.pool.Park(i, meso.OperatingPoint{
 		PowerW:     ml.steadyW,
 		IdleW:      idleW,
-		RateIOPS:   s.spec.RateIOPS * float64(s.spec.Active),
+		RateIOPS:   s.laneRateIOPS(now),
 		BytesPerIO: s.spec.ChunkBytes,
 	}, now)
 	ml.phase = mesoParked
@@ -339,16 +399,10 @@ func (m *mesoState) unpark(i int, now time.Duration, restart bool) {
 			g.Start()
 		}
 	}
-	if remaining := s.spec.Horizon - now; remaining > 0 {
-		l := s.lanes[i]
-		a, err := workload.StartArrivals(s.eng, s.astreams[i], s.spec.Arrival,
-			s.spec.RateIOPS*float64(s.spec.Active), remaining, l.arrive, nil)
-		if err != nil {
-			// Inputs were validated when the lane first started; a
-			// failure here is a programming error, not a spec error.
-			panic(fmt.Sprintf("serve: meso rehydration of lane %d: %v", i, err))
-		}
-		s.arrs[i] = a
+	if err := s.startLaneArrivals(i); err != nil {
+		// Inputs were validated when the lane first started; a
+		// failure here is a programming error, not a spec error.
+		panic(fmt.Sprintf("serve: meso rehydration of lane %d: %v", i, err))
 	}
 	ml.prevE, ml.prevT = m.laneEnergy(i), now
 	m.snapshot(i, ml)
@@ -402,14 +456,8 @@ func (m *mesoState) rehydrateAll() {
 					}
 				}
 			}
-			if remaining := s.spec.Horizon - now; remaining > 0 {
-				l := s.lanes[i]
-				a, err := workload.StartArrivals(s.eng, s.astreams[i], s.spec.Arrival,
-					s.spec.RateIOPS*float64(s.spec.Active), remaining, l.arrive, nil)
-				if err != nil {
-					panic(fmt.Sprintf("serve: meso rehydration of lane %d: %v", i, err))
-				}
-				s.arrs[i] = a
+			if err := s.startLaneArrivals(i); err != nil {
+				panic(fmt.Sprintf("serve: meso rehydration of lane %d: %v", i, err))
 			}
 			ml.phase = mesoHydrated
 			ml.dwell = 0

@@ -43,6 +43,22 @@ type BudgetStep struct {
 	FleetW float64
 }
 
+// ChurnEvent is one scheduled membership change: at At, Add replica
+// groups of Profile join the fleet (warming for Warmup before they
+// serve traffic) and/or Remove groups of Profile drain their queued and
+// in-flight work and retire. Added groups hold their budget share from
+// At — warm-up is a real power cost — and removed groups stop holding
+// one at At, with the drain overhang absorbed by the control plane's
+// per-transition settle grace. Within one event additions apply before
+// removals.
+type ChurnEvent struct {
+	At      time.Duration
+	Profile string
+	Add     int
+	Remove  int
+	Warmup  time.Duration
+}
+
 // Spec describes one serving run. Zero values take defaults.
 type Spec struct {
 	// Profiles is the catalog profile mix; replica groups round-robin
@@ -81,8 +97,22 @@ type Spec struct {
 	// RateIOPS is the open-loop arrival rate per active device; a
 	// group's rate is RateIOPS × Active. Default 3000.
 	RateIOPS float64
+	// Rates is an optional piecewise-constant arrival-rate schedule (a
+	// diurnal load curve): from each step's At onward, every lane's
+	// per-active-device rate is that step's IOPS. The first step must be
+	// at 0; when set it supersedes RateIOPS (which normalization pins to
+	// the first step's rate).
+	Rates []workload.RateStep
 	// Arrival selects the open-loop arrival process. Default OpenPoisson.
 	Arrival workload.Arrival
+
+	// Churn schedules membership changes: scale-out events that admit
+	// new replica groups mid-run (with a warm-up cost before they serve)
+	// and scale-in events that drain and retire groups. Events must be
+	// strictly increasing in time, inside (0, Horizon), and address a
+	// profile from Profiles. With churn set the fleet's live size varies
+	// over the run; budget slices scale with the live population.
+	Churn []ChurnEvent
 
 	// Horizon is the virtual serving time. Default 2 s.
 	Horizon time.Duration
@@ -302,6 +332,69 @@ func (s Spec) normalized() (Spec, error) {
 	if s.MesoGroupMin > 0 && s.MesoProbes == 0 {
 		s.MesoProbes = 2
 	}
+	if s.MesoGroupMin > 0 && s.MesoProbes >= s.MesoGroupMin {
+		return s, fmt.Errorf("serve: meso probe count %d must be below the group minimum %d (a cohort that is all probes has nothing to virtualize)",
+			s.MesoProbes, s.MesoGroupMin)
+	}
+	if len(s.Rates) > 0 {
+		if s.Rates[0].At != 0 {
+			return s, fmt.Errorf("serve: rate schedule must start at 0, got %v", s.Rates[0].At)
+		}
+		for i, rs := range s.Rates {
+			if rs.IOPS <= 0 {
+				return s, fmt.Errorf("serve: rate step %d has non-positive rate %v", i, rs.IOPS)
+			}
+			if i > 0 && rs.At <= s.Rates[i-1].At {
+				return s, fmt.Errorf("serve: rate schedule not strictly increasing at step %d", i)
+			}
+			if rs.At >= s.Horizon {
+				return s, fmt.Errorf("serve: rate step %d at %v is past the horizon %v", i, rs.At, s.Horizon)
+			}
+		}
+		s.RateIOPS = s.Rates[0].IOPS
+	}
+	if len(s.Churn) > 0 {
+		// Simulate per-profile live group counts so every removal is
+		// known to have a target and no cohort ever empties out.
+		P := len(s.Profiles)
+		live := make([]int, P)
+		for g := 0; g < s.Size/s.Replicas; g++ {
+			live[g%P]++
+		}
+		for i, ev := range s.Churn {
+			if ev.At <= 0 || ev.At >= s.Horizon {
+				return s, fmt.Errorf("serve: churn event %d at %v outside (0, horizon)", i, ev.At)
+			}
+			if i > 0 && ev.At <= s.Churn[i-1].At {
+				return s, fmt.Errorf("serve: churn schedule not strictly increasing at event %d", i)
+			}
+			pi := -1
+			for j, p := range s.Profiles {
+				if p == ev.Profile {
+					pi = j
+					break
+				}
+			}
+			if pi < 0 {
+				return s, fmt.Errorf("serve: churn event %d addresses unknown cohort %q (profiles are %v)", i, ev.Profile, s.Profiles)
+			}
+			if ev.Add < 0 || ev.Remove < 0 || ev.Add+ev.Remove == 0 {
+				return s, fmt.Errorf("serve: churn event %d must add or remove at least one group", i)
+			}
+			if ev.Warmup < 0 {
+				return s, fmt.Errorf("serve: churn event %d has negative warm-up %v", i, ev.Warmup)
+			}
+			if ev.Add > 0 && ev.At+ev.Warmup >= s.Horizon {
+				return s, fmt.Errorf("serve: churn event %d warm-up ends at %v, past the horizon %v", i, ev.At+ev.Warmup, s.Horizon)
+			}
+			live[pi] += ev.Add
+			if ev.Remove >= live[pi] {
+				return s, fmt.Errorf("serve: churn event %d removes %d of cohort %q's %d live groups (at least one must remain)",
+					i, ev.Remove, ev.Profile, live[pi])
+			}
+			live[pi] -= ev.Remove
+		}
+	}
 	if len(s.Budget) == 0 {
 		var maxW float64
 		for gi := 0; gi < groups; gi++ {
@@ -515,6 +608,18 @@ type Report struct {
 	// MesoParkedPeriods each control period.
 	MesoGroupLanes, MesoGroupBuckets, MesoGroupScans int
 	MesoGroupJ                                       float64
+
+	// Lane-lifecycle accounting (zero unless Spec.Churn is set).
+	// ChurnAdds/ChurnRemoves count replica groups admitted and retired
+	// mid-run. Warm-up recovery latency is admission (the churn event)
+	// to a lane's first completed request — virtual cohort members
+	// report their modeled warm-up instead; drain recovery latency is
+	// the removal event to the last in-flight completion — instantaneous
+	// for virtual members, whose queue is analytic. Quantiles cover the
+	// groups whose transition completed inside the simulated window.
+	ChurnAdds, ChurnRemoves int
+	WarmupP50, WarmupMax    time.Duration
+	DrainP50, DrainMax      time.Duration
 }
 
 // Run executes the serving engine and returns the merged report.
@@ -538,10 +643,12 @@ func Run(spec Spec) (*Report, error) {
 		g += n
 	}
 
+	churn := compileChurn(&sp, ranges)
+
 	results := make([]*shardResult, sp.Shards)
 	errs := make([]error, sp.Shards)
 	grid.Pool(sp.Shards, runtime.GOMAXPROCS(0), func(i int) {
-		results[i], errs[i] = runShard(&sp, i, ranges[i])
+		results[i], errs[i] = runShard(&sp, i, ranges[i], churnFor(churn, i))
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -564,6 +671,7 @@ func merge(sp *Spec, results []*shardResult) *Report {
 		SimulatedDur: sp.Horizon,
 	}
 	var lat []time.Duration
+	var warmLats, drainLats []time.Duration
 	nIntervals := len(results[0].IntervalEnergyJ)
 	energy := make([]float64, nIntervals)
 	for _, s := range results {
@@ -610,7 +718,13 @@ func merge(sp *Spec, results []*shardResult) *Report {
 		if !s.MesoDriftOK {
 			r.MesoDriftOK = false
 		}
+		r.ChurnAdds += s.ChurnAdds
+		r.ChurnRemoves += s.ChurnRemoves
+		warmLats = append(warmLats, s.WarmupLats...)
+		drainLats = append(drainLats, s.DrainLats...)
 	}
+	r.WarmupP50, r.WarmupMax = latQuantiles(warmLats)
+	r.DrainP50, r.DrainMax = latQuantiles(drainLats)
 
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	if n := len(lat); n > 0 {
@@ -627,6 +741,24 @@ func merge(sp *Spec, results []*shardResult) *Report {
 	// IO past the horizon served those bytes over the longer window, and
 	// dividing by the horizon would overstate the rate.
 	r.ThroughputMBps = float64(r.BytesCompleted) / 1e6 / r.SimulatedDur.Seconds()
+
+	// Control-plane transitions outside the budget schedule — churn
+	// epochs, warm-up completions, rate-schedule boundaries — re-plan the
+	// fleet the same way a budget step does, and get the same one-period
+	// settle grace. Empty when churn and rate schedules are off, so the
+	// interval accounting is unchanged for every existing spec.
+	var extraGraces []time.Duration
+	for _, ev := range sp.Churn {
+		extraGraces = append(extraGraces, ev.At)
+		if ev.Add > 0 {
+			extraGraces = append(extraGraces, ev.At+ev.Warmup)
+		}
+	}
+	if len(sp.Rates) > 1 {
+		for _, rs := range sp.Rates[1:] {
+			extraGraces = append(extraGraces, rs.At)
+		}
+	}
 
 	var totalE float64
 	lastStart := time.Duration(nIntervals-1) * sp.ControlPeriod
@@ -648,6 +780,11 @@ func merge(sp *Spec, results []*shardResult) *Report {
 				iv.Checked = false
 			}
 		}
+		for _, t := range extraGraces {
+			if stepGraces(t, start, end, sp.ControlPeriod, lastStart) {
+				iv.Checked = false
+			}
+		}
 		totalE += energy[k]
 		if iv.Checked {
 			over := iv.AchievedW - iv.BudgetW
@@ -662,6 +799,20 @@ func merge(sp *Spec, results []*shardResult) *Report {
 	}
 	r.AvgPowerW = totalE / sp.Horizon.Seconds()
 	return r
+}
+
+// latQuantiles returns the p50 and maximum of a latency sample, sorting
+// it in place; zeros when the sample is empty.
+func latQuantiles(lats []time.Duration) (p50, max time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fl := make([]float64, len(lats))
+	for i, l := range lats {
+		fl[i] = float64(l)
+	}
+	return time.Duration(stats.Quantile(fl, 0.50)), lats[len(lats)-1]
 }
 
 // budgetAt returns the scheduled fleet budget in force at time t: the

@@ -9,6 +9,7 @@ import (
 	"wattio/internal/adaptive"
 	"wattio/internal/core"
 	"wattio/internal/device"
+	"wattio/internal/fault"
 	"wattio/internal/sim"
 	"wattio/internal/telemetry/invariant"
 	"wattio/internal/workload"
@@ -47,6 +48,9 @@ type shardResult struct {
 
 	MesoGroupLanes, MesoGroupBuckets, MesoGroupScans int
 	MesoGroupJ                                       float64
+
+	ChurnAdds, ChurnRemoves int
+	WarmupLats, DrainLats   []time.Duration
 
 	GovSteps, GovRetries, GovFailures  int
 	Replans, Compensations, Infeasible int
@@ -88,6 +92,27 @@ type shard struct {
 	// members; budget slices and cap bounds scale by it, not by the
 	// materialized len(devs). Equal to len(devs) outside group mode.
 	devTotal int
+	// liveDevs/fleetLive are the shard's and the fleet's live device
+	// counts — the budget-slice ratio. Equal to devTotal and Spec.Size
+	// until a churn epoch moves them.
+	liveDevs, fleetLive int
+
+	// Lane-lifecycle state, nil/zero unless Spec.Churn is set (see
+	// lifecycle.go). laneFaultEnd is the end of each lane's last fault
+	// window (zero when unfaulted); laneRates the per-lane arrival
+	// schedule (rates scaled by Active); models the per-device planning
+	// models retained for controller rebuilds; retiredJ the frozen
+	// meters of retired devices; ctrlComp compensations folded from
+	// retired controllers.
+	lc           []laneLife
+	devDead      []bool
+	groupLane    map[int]int
+	models       []*core.Model
+	fcache       *adaptive.FleetCache
+	retiredJ     float64
+	ctrlComp     int
+	laneFaultEnd []time.Duration
+	laneRates    []workload.RateStep
 
 	inflight int
 	stopped  bool
@@ -112,8 +137,20 @@ type shard struct {
 // population too.
 func (s *shard) EnergyJ() float64 {
 	var sum float64
-	for _, d := range s.devs {
-		sum += d.EnergyJ()
+	if s.devDead == nil {
+		for _, d := range s.devs {
+			sum += d.EnergyJ()
+		}
+	} else {
+		// Retired devices stop drawing: their meters were frozen into
+		// retiredJ at retirement, so the sum stays continuous there and
+		// monotone throughout.
+		sum = s.retiredJ
+		for i, d := range s.devs {
+			if !s.devDead[i] {
+				sum += d.EnergyJ()
+			}
+		}
 	}
 	if s.meso != nil {
 		sum += s.meso.pool.DynEnergyJ(s.eng.Now())
@@ -228,6 +265,9 @@ func (d *laneDone) run() {
 	// for a real frontend.
 	s.res.Latencies = append(s.res.Latencies, now-admitted)
 	l.dispatch()
+	if s.lc != nil {
+		s.laneCompleted(l, now)
+	}
 	if s.meso != nil {
 		s.meso.laneQuiet(l)
 	}
@@ -272,7 +312,7 @@ func (l *lane) nextOffset() int64 {
 // planned draw so the feedback loop enforces the new plan between
 // steps.
 func (s *shard) applyBudget(fleetW float64) {
-	slice := fleetW * float64(s.devTotal) / float64(s.spec.Size)
+	slice := fleetW * float64(s.liveDevs) / float64(s.fleetLive)
 	a, err := s.bc.Apply(slice)
 	if err != nil {
 		// Infeasible slice (or every pass stuck): keep the previous
@@ -329,8 +369,9 @@ func (s *shard) intervalTick() {
 	}
 }
 
-// runShard builds and runs one shard to completion.
-func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
+// runShard builds and runs one shard to completion. ch is the shard's
+// compiled churn timeline (nil when the spec has none).
+func runShard(sp *Spec, idx int, rg shardRange, ch *shardChurn) (*shardResult, error) {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(sp.Seed ^ shardHash("serve/shard", idx))
 	frng := sim.NewRNG(sp.FaultSeed ^ shardHash("serve/fault", idx))
@@ -338,6 +379,13 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	s.res.CapOK = true
 	s.res.MesoDriftOK = true
 	s.devTotal = (rg.g1 - rg.g0) * sp.Replicas
+	s.liveDevs, s.fleetLive = s.devTotal, sp.Size
+	if len(sp.Rates) > 0 {
+		s.laneRates = make([]workload.RateStep, len(sp.Rates))
+		for i, rs := range sp.Rates {
+			s.laneRates[i] = workload.RateStep{At: rs.At, IOPS: rs.IOPS * float64(sp.Active)}
+		}
+	}
 
 	// Build devices, planning models, replica groups, and lanes. In
 	// group mode (MesoGroupMin > 0) only resident groups materialize —
@@ -354,28 +402,33 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 			buildGroups = append(buildGroups, g)
 		}
 	}
-	var models []*core.Model
 	for _, g := range buildGroups {
 		profile := sp.Profiles[g%len(sp.Profiles)]
 		groupDevs := make([]device.Device, 0, sp.Replicas)
 		groupFaulted := false
+		var groupFaultEnd time.Duration
 		for rep := 0; rep < sp.Replicas; rep++ {
 			gi := g*sp.Replicas + rep
 			var d device.Device
 			var name string
-			var faulted bool
+			var wins []fault.Window
 			var err error
 			if s.grp != nil {
-				d, name, faulted, err = s.grp.materialize(profile, gi)
+				d, name, wins, err = s.grp.materialize(profile, gi)
 			} else {
-				d, name, faulted, err = materializeDevice(sp, eng, rng, frng, scripted, profile, gi)
+				d, name, wins, err = materializeDevice(sp, eng, rng, frng, scripted, profile, gi)
 			}
 			if err != nil {
 				return nil, err
 			}
-			if faulted {
+			if len(wins) > 0 {
 				s.res.Faulted++
 				groupFaulted = true
+				for _, w := range wins {
+					if end := w.End(); end > groupFaultEnd {
+						groupFaultEnd = end
+					}
+				}
 			}
 			if s.grp == nil {
 				// Per-device planning models feed the BudgetController;
@@ -384,7 +437,7 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				models = append(models, m)
+				s.models = append(s.models, m)
 			}
 			s.devs = append(s.devs, d)
 			s.names = append(s.names, name)
@@ -411,6 +464,7 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 			span: span,
 		})
 		s.laneFaulted = append(s.laneFaulted, groupFaulted)
+		s.laneFaultEnd = append(s.laneFaultEnd, groupFaultEnd)
 		s.laneGroup = append(s.laneGroup, g)
 	}
 
@@ -419,7 +473,7 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	if s.grp != nil {
 		s.grp.finishBuild()
 	} else {
-		fleet, err := core.NewFleet(models...)
+		fleet, err := core.NewFleet(s.models...)
 		if err != nil {
 			return nil, err
 		}
@@ -459,6 +513,34 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 		})
 	}
 
+	// Rate-schedule boundaries and churn epochs post after the budget
+	// steps, so at a shared instant the new budget is already in force
+	// when the boundary or epoch re-plans. Warm events for earlier churn
+	// events post before later epochs — compileChurn's warming flag
+	// relies on that order.
+	if len(sp.Rates) > 1 {
+		for _, rs := range sp.Rates[1:] {
+			rs := rs
+			eng.Post(rs.At, func() { s.rateStep(rs) })
+		}
+	}
+	if ch != nil {
+		s.lc = make([]laneLife, len(s.lanes))
+		s.devDead = make([]bool, len(s.devs))
+		s.fcache = adaptive.NewFleetCache()
+		s.groupLane = make(map[int]int, len(s.lanes))
+		for i, g := range s.laneGroup {
+			s.groupLane[g] = i
+		}
+		for _, ep := range ch.epochs {
+			ep := ep
+			eng.Post(ep.at, func() { s.churnEpoch(ep) })
+			if len(ep.adds) > 0 && ep.warmAt > ep.at {
+				eng.Post(ep.warmAt, func() { s.warmEpoch(ep) })
+			}
+		}
+	}
+
 	// Power accounting per control interval: one timer walks the
 	// interval boundaries, rescheduling itself in place. The interval
 	// event only reads EnergyJ (and no co-timed event deposits energy
@@ -472,9 +554,22 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	var capProbe *invariant.CapProbe
 	var clockProbe *invariant.ClockProbe
 	if sp.CheckInvariants {
+		// The cap bound is the largest budget slice this shard can ever
+		// hold: max over budget steps crossed with max over membership
+		// epochs of the live-device ratio. The bound covers the drain
+		// overhang too — a removal only lowers the ratio, so the earlier,
+		// larger bound still holds while retiring lanes finish drawing.
 		var maxSlice float64
 		for _, st := range sp.Budget {
-			if slice := st.FleetW * float64(s.devTotal) / float64(sp.Size); slice > maxSlice {
+			slice := st.FleetW * float64(s.devTotal) / float64(sp.Size)
+			if ch != nil {
+				for _, ep := range ch.epochs {
+					if v := st.FleetW * float64(ep.live) / float64(ep.fleetLive); v > slice {
+						slice = v
+					}
+				}
+			}
+			if slice > maxSlice {
 				maxSlice = slice
 			}
 		}
@@ -483,16 +578,12 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 	}
 
 	// Open-loop arrival stream per lane.
-	for i, l := range s.lanes {
-		l := l
-		st := rng.Stream(fmt.Sprintf("arrivals%05d", s.laneGroup[i]))
-		a, err := workload.StartArrivals(eng,
-			st, sp.Arrival, sp.RateIOPS*float64(sp.Active), sp.Horizon, l.arrive, nil)
-		if err != nil {
+	for i := range s.lanes {
+		s.astreams = append(s.astreams, rng.Stream(fmt.Sprintf("arrivals%05d", s.laneGroup[i])))
+		s.arrs = append(s.arrs, nil)
+		if err := s.startLaneArrivals(i); err != nil {
 			return nil, err
 		}
-		s.astreams = append(s.astreams, st)
-		s.arrs = append(s.arrs, a)
 	}
 
 	if sp.Meso {
@@ -544,7 +635,7 @@ func runShard(sp *Spec, idx int, rg shardRange) (*shardResult, error) {
 		s.res.GovFailures += gv.Failures
 	}
 	if s.bc != nil {
-		s.res.Compensations = s.bc.Compensations
+		s.res.Compensations = s.ctrlComp + s.bc.Compensations
 	}
 	for _, rd := range s.redirs {
 		s.res.Failovers += rd.Failovers

@@ -7,21 +7,32 @@ import (
 	"wattio/internal/sim"
 )
 
+// RateStep is one segment of a piecewise-constant arrival-rate
+// schedule: from engine time At onward the process runs at IOPS
+// arrivals per second, until the next step (or the deadline) takes
+// over. A diurnal load curve is a handful of RateSteps.
+type RateStep struct {
+	At   time.Duration
+	IOPS float64
+}
+
 // Arrivals is a standalone open-loop arrival process: it fires a
-// callback per request arrival at the configured rate until its horizon
+// callback per request arrival at the scheduled rate until its deadline
 // passes or it is stopped. Runner embeds the same arrival logic for
 // single-device jobs; Arrivals exists for layers that put their own
 // queueing between arrival and device — the serving engine's admission
 // control and batching cannot use Runner's direct-submit path.
 type Arrivals struct {
-	eng  *sim.Engine
-	rng  *sim.RNG
-	kind Arrival
-	gap  float64 // mean inter-arrival time in seconds
+	eng   *sim.Engine
+	rng   *sim.RNG
+	kind  Arrival
+	rates []RateStep
+	ri    int // index of the rate step in force
 
 	deadline time.Duration
 	count    int64
 	stopped  bool
+	arrival  bool // the armed timer is an arrival, not a rate boundary
 	timer    *sim.Timer
 	fn       func()
 	onDone   func()
@@ -34,14 +45,37 @@ type Arrivals struct {
 // an engine event when the process retires (horizon reached), letting
 // callers sequence drain logic without polling.
 func StartArrivals(eng *sim.Engine, rng *sim.RNG, kind Arrival, rateIOPS float64, horizon time.Duration, fn func(), onDone func()) (*Arrivals, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("workload: arrival horizon %v must be positive", horizon)
+	}
+	return StartArrivalsSchedule(eng, rng, kind, []RateStep{{At: 0, IOPS: rateIOPS}}, eng.Now()+horizon, fn, onDone)
+}
+
+// StartArrivalsSchedule begins an open-loop arrival process driven by a
+// piecewise-constant rate schedule. rates must be non-empty with
+// strictly increasing At and positive IOPS; At values are absolute
+// engine times (a process started mid-run picks up whichever step is in
+// force). until is the absolute engine time past which no arrival may
+// land. At each rate boundary the pending inter-arrival draw is
+// discarded and resampled at the new rate — exact for Poisson arrivals
+// by memorylessness, and the defined semantics for uniform ones.
+func StartArrivalsSchedule(eng *sim.Engine, rng *sim.RNG, kind Arrival, rates []RateStep, until time.Duration, fn func(), onDone func()) (*Arrivals, error) {
 	if kind == Closed {
 		return nil, fmt.Errorf("workload: arrivals need an open-loop kind")
 	}
-	if rateIOPS <= 0 {
-		return nil, fmt.Errorf("workload: arrival rate %v must be positive", rateIOPS)
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("workload: arrivals need at least one rate step")
 	}
-	if horizon <= 0 {
-		return nil, fmt.Errorf("workload: arrival horizon %v must be positive", horizon)
+	for i, r := range rates {
+		if r.IOPS <= 0 {
+			return nil, fmt.Errorf("workload: arrival rate %v must be positive", r.IOPS)
+		}
+		if i > 0 && r.At <= rates[i-1].At {
+			return nil, fmt.Errorf("workload: rate steps must have strictly increasing times")
+		}
+	}
+	if until <= eng.Now() {
+		return nil, fmt.Errorf("workload: arrival deadline %v must be in the future", until)
 	}
 	if fn == nil {
 		return nil, fmt.Errorf("workload: arrivals need a callback")
@@ -50,8 +84,8 @@ func StartArrivals(eng *sim.Engine, rng *sim.RNG, kind Arrival, rateIOPS float64
 		eng:      eng,
 		rng:      rng,
 		kind:     kind,
-		gap:      1 / rateIOPS,
-		deadline: eng.Now() + horizon,
+		rates:    rates,
+		deadline: until,
 		fn:       fn,
 		onDone:   onDone,
 	}
@@ -62,8 +96,18 @@ func StartArrivals(eng *sim.Engine, rng *sim.RNG, kind Arrival, rateIOPS float64
 	return a, nil
 }
 
+// gapAt advances the step cursor to the step in force at now and
+// returns its mean inter-arrival time in seconds.
+func (a *Arrivals) gapAt(now time.Duration) float64 {
+	for a.ri+1 < len(a.rates) && a.rates[a.ri+1].At <= now {
+		a.ri++
+	}
+	return 1 / a.rates[a.ri].IOPS
+}
+
 func (a *Arrivals) schedule() {
-	gap := a.gap
+	now := a.eng.Now()
+	gap := a.gapAt(now)
 	if a.kind == OpenPoisson {
 		gap = a.rng.Exponential(gap)
 	}
@@ -71,12 +115,26 @@ func (a *Arrivals) schedule() {
 	if d <= 0 {
 		d = time.Nanosecond
 	}
-	if a.eng.Now()+d > a.deadline {
+	// A draw that crosses the next rate boundary is abandoned there and
+	// resampled at the new rate; the boundary tick is not an arrival.
+	if a.ri+1 < len(a.rates) {
+		if b := a.rates[a.ri+1].At; now+d > b {
+			a.arm(b-now, false)
+			return
+		}
+	}
+	if now+d > a.deadline {
 		a.retire()
 		return
 	}
-	// One timer serves the whole process: the first arrival arms it,
-	// every later arrival re-sifts it in place.
+	a.arm(d, true)
+}
+
+// arm sets the process timer d from now. One timer serves the whole
+// process: the first arm creates it, every later arm re-sifts it in
+// place.
+func (a *Arrivals) arm(d time.Duration, arrival bool) {
+	a.arrival = arrival
 	if a.timer == nil {
 		a.timer = a.eng.After(d, a.tick)
 	} else {
@@ -88,8 +146,10 @@ func (a *Arrivals) tick() {
 	if a.stopped {
 		return
 	}
-	a.count++
-	a.fn()
+	if a.arrival {
+		a.count++
+		a.fn()
+	}
 	a.schedule()
 }
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# Run the lane-lifecycle churn benchmark and emit its series as JSON.
+#
+#   scripts/bench_churn.sh [out.json]
+#
+# Runs BenchmarkChurnServe — a group-parked fleet at 10^4 and 10^5
+# devices under a diurnal rate schedule, scaling ~10% of its groups
+# out for the peak and draining them back — and converts the per-size
+# metric sets into BENCH_churn.json (or the given path). The raw
+# benchmark log is kept next to it for debugging.
+#
+# Gates (all on deterministic or size-normalized quantities):
+#   - peak live heap at the 10^5 point must stay under 10 KiB/device
+#     (churn rides the bucket accounting, not re-materialization);
+#   - allocations per device at the 10^5 point must stay under 1
+#     (admitting a group costs per cohort, not per member);
+#   - every churned group must both join and leave (adds == removes)
+#     and the drain-back must complete inside the run.
+set -eu
+
+out=${1:-BENCH_churn.json}
+log=${out%.json}.log
+
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench '^BenchmarkChurnServe$' -benchtime 1x -count 1 -timeout 30m . | tee "$log"
+
+awk -v out="$out" '
+/^BenchmarkChurnServe\// {
+    split($1, parts, "=")
+    n = parts[2]
+    sub(/-[0-9]+$/, "", n) # strip the GOMAXPROCS suffix
+    if (points++) printf ",\n" > out
+    else printf "{\n  \"benchmark\": \"BenchmarkChurnServe\",\n  \"points\": [\n" > out
+    printf "    {\"devices\": %s", n > out
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        sub(/^churn_/, "", unit)
+        if (unit == "ns_per_op") continue
+        printf ", \"%s\": %s", unit, $i > out
+        if (unit == "bytes_per_device") bpd[n] = $i
+        if (unit == "allocs_per_device") apd[n] = $i
+        if (unit == "adds") adds[n] = $i
+        if (unit == "removes") removes[n] = $i
+        if (unit == "drain_max_ms") drain[n] = $i
+    }
+    printf "}" > out
+}
+END {
+    if (!points) {
+        print "bench_churn.sh: no BenchmarkChurnServe results in output" > "/dev/stderr"
+        exit 1
+    }
+    printf "\n  ]\n}\n" > out
+    if (!(100000 in bpd)) {
+        print "bench_churn.sh: missing the 10^5-device point" > "/dev/stderr"
+        exit 1
+    }
+    if (bpd[100000] + 0 >= 10240) {
+        printf "bench_churn.sh: %.0f bytes/device at 10^5 devices over the 10 KiB gate\n", bpd[100000] > "/dev/stderr"
+        exit 1
+    }
+    if (apd[100000] + 0 >= 1) {
+        printf "bench_churn.sh: %.3f allocs/device at 10^5 devices over the regression gate of 1\n", apd[100000] > "/dev/stderr"
+        exit 1
+    }
+    for (n in adds) {
+        if (adds[n] + 0 <= 0 || adds[n] != removes[n]) {
+            printf "bench_churn.sh: churn did not round-trip at n=%s (%d adds vs %d removes)\n", n, adds[n], removes[n] > "/dev/stderr"
+            exit 1
+        }
+        if (drain[n] + 0 < 0) {
+            printf "bench_churn.sh: negative drain recovery at n=%s\n", n > "/dev/stderr"
+            exit 1
+        }
+    }
+}
+' "$log"
+
+echo "wrote $out:"
+cat "$out"
