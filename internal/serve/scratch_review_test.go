@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// Scratch review test: a churned lane in plain-meso mode (no group
+// parking) must not park while still warming.
+func TestScratchReviewWarmingPark(t *testing.T) {
+	sp := Spec{
+		Profiles:        []string{"SSD2"},
+		Size:            8,
+		Shards:          1,
+		Horizon:         3 * time.Second,
+		Seed:            42,
+		Meso:            true,
+		CheckInvariants: true,
+		Churn: []ChurnEvent{
+			{At: 500 * time.Millisecond, Profile: "SSD2", Add: 2, Warmup: 800 * time.Millisecond},
+			{At: 2 * time.Second, Profile: "SSD2", Remove: 2},
+		},
+	}
+	rMeso, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spOff := sp
+	spOff.Meso = false
+	rOff, err := Run(spOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("meso:  offered %d completed %d dehyd %d rehyd %d driftOK %v",
+		rMeso.Offered, rMeso.Completed, rMeso.MesoDehydrations, rMeso.MesoRehydrations, rMeso.MesoDriftOK)
+	t.Logf("plain: offered %d completed %d", rOff.Offered, rOff.Completed)
+	t.Logf("warmup p50 %v max %v (meso) vs %v max %v (plain)", rMeso.WarmupP50, rMeso.WarmupMax, rOff.WarmupP50, rOff.WarmupMax)
+}
